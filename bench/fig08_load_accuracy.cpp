@@ -1,0 +1,63 @@
+// Fig 8: I/O throughput (IOPS, MBPS) as a function of configured load
+// proportion, with the load-control accuracy curve. Workload mode matches
+// the paper: request size 4 KB, random ratio 50 %, read ratio 0 %.
+// Paper finding: measured proportions track configured ones with error
+// under 0.5 % because the collected trace has constant request size.
+#include "bench_common.h"
+
+#include "core/metrics.h"
+
+int main() {
+  using namespace tracer;
+  bench::print_header(
+      "Fig 8 — throughput and load-control accuracy vs configured load",
+      "4 KB / rnd 50 % / rd 0 %: accuracy error < 0.5 % (fixed request size)");
+
+  // Accuracy is statistics-limited: the expected load-proportion error is
+  // ~1/sqrt(selected packages), so matching the paper's <0.5 % needs a
+  // paper-scale trace (theirs: ~400k packages / 50k bunches). Collect for
+  // one simulated hour at this mode's ~126 IOPS to reach that scale.
+  core::EvaluationOptions options = bench::bench_options();
+  options.collection_duration = 3600.0;
+  core::EvaluationHost host(storage::ArrayConfig::hdd_testbed(6),
+                            bench::bench_repository_dir() / "accuracy",
+                            options);
+
+  workload::WorkloadMode mode;
+  mode.request_size = 4 * kKiB;
+  mode.random_ratio = 0.50;
+  mode.read_ratio = 0.0;
+
+  // Baseline: 100 % replay of the peak trace (T(f) in eq. 1).
+  mode.load_proportion = 1.0;
+  const core::TestResult base = host.run_test(mode);
+
+  util::Table table({"configured %", "IOPS", "MBPS", "LP(iops) %",
+                     "LP(mbps) %", "A(iops)", "A(mbps)"});
+  double max_error = 0.0;
+  for (double load : bench::load_levels()) {
+    mode.load_proportion = load;
+    const core::TestResult result =
+        load >= 1.0 ? base : host.run_test(mode);
+    const core::LoadControlRow row = core::make_load_control_row(
+        load, base.record.iops, base.record.mbps, result.record.iops,
+        result.record.mbps);
+    max_error = std::max({max_error, std::abs(row.accuracy_iops - 1.0),
+                          std::abs(row.accuracy_mbps - 1.0)});
+    table.row()
+        .add(static_cast<int>(load * 100))
+        .add(result.record.iops, 1)
+        .add(result.record.mbps, 3)
+        .add(row.measured_iops_lp * 100.0, 3)
+        .add(row.measured_mbps_lp * 100.0, 3)
+        .add(row.accuracy_iops, 5)
+        .add(row.accuracy_mbps, 5)
+        .done();
+  }
+  table.print(std::cout);
+  std::printf("max accuracy error: %.3f %%\n", max_error * 100.0);
+  bench::print_verdict(max_error < 0.02,
+                       "load-control error small for fixed request size "
+                       "(paper: <0.5 %, ours: <2 % budget for queue noise)");
+  return 0;
+}

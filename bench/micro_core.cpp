@@ -1,0 +1,184 @@
+// google-benchmark micro-benchmarks for the hot paths of the TRACER core:
+// the proportional filter, the trace binary format, the DES kernel, and a
+// whole replay. These are throughput guards, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/proportional_filter.h"
+#include "power/power_timeline.h"
+#include "trace/srt_format.h"
+#include "util/spsc_queue.h"
+#include "workload/cello_model.h"
+#include "workload/zipf.h"
+#include "core/replay_engine.h"
+#include "sim/simulator.h"
+#include "storage/disk_array.h"
+#include "trace/blk_format.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tracer;
+
+trace::Trace make_trace(std::size_t bunches, std::size_t packages_per_bunch) {
+  util::Rng rng(7);
+  trace::Trace trace;
+  trace.device = "bench";
+  trace.bunches.reserve(bunches);
+  for (std::size_t b = 0; b < bunches; ++b) {
+    trace::Bunch bunch;
+    bunch.timestamp = static_cast<double>(b) * 1e-3;
+    for (std::size_t p = 0; p < packages_per_bunch; ++p) {
+      trace::IoPackage pkg;
+      pkg.sector = rng.below(1ULL << 30) * 8;
+      pkg.bytes = 4096;
+      pkg.op = rng.chance(0.5) ? OpType::kRead : OpType::kWrite;
+      bunch.packages.push_back(pkg);
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+void BM_ProportionalFilter(benchmark::State& state) {
+  const trace::Trace trace = make_trace(50000, 8);
+  const double proportion = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto filtered = core::ProportionalFilter::apply(trace, proportion);
+    benchmark::DoNotOptimize(filtered.bunches.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.bunch_count()));
+}
+BENCHMARK(BM_ProportionalFilter)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_BlkFormatWrite(benchmark::State& state) {
+  const trace::Trace trace = make_trace(10000, 8);
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::write_blk(out, trace);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.package_count()));
+}
+BENCHMARK(BM_BlkFormatWrite);
+
+void BM_BlkFormatRead(benchmark::State& state) {
+  const trace::Trace trace = make_trace(10000, 8);
+  std::ostringstream out;
+  trace::write_blk(out, trace);
+  const std::string data = out.str();
+  for (auto _ : state) {
+    std::istringstream in(data);
+    auto loaded = trace::read_blk(in);
+    benchmark::DoNotOptimize(loaded.bunches.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.package_count()));
+}
+BENCHMARK(BM_BlkFormatRead);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 100000; ++i) {
+      sim.schedule_at(static_cast<double>(i % 977) * 1e-3,
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SimulatorEvents);
+
+void BM_ReplayHddArray(benchmark::State& state) {
+  const trace::Trace trace = make_trace(2000, 4);
+  for (auto _ : state) {
+    core::ReplayEngine engine;
+    storage::DiskArray array(engine.simulator(),
+                             storage::ArrayConfig::hdd_testbed(6));
+    auto report = engine.replay(trace, array);
+    benchmark::DoNotOptimize(report.perf.iops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.package_count()));
+}
+BENCHMARK(BM_ReplayHddArray);
+
+void BM_ZipfSampler(benchmark::State& state) {
+  workload::ZipfSampler sampler(0.9,
+                                static_cast<std::uint64_t>(state.range(0)));
+  util::Rng rng(3);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += sampler.sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfSampler)->Arg(1000)->Arg(1000000)->Arg(100000000);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(5);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.uniform();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_SpscQueueRoundTrip(benchmark::State& state) {
+  util::SpscQueue<std::uint64_t> queue(1024);
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    queue.try_push(value++);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscQueueRoundTrip);
+
+void BM_PowerTimelineIntegration(benchmark::State& state) {
+  for (auto _ : state) {
+    power::PowerTimeline timeline(8.0);
+    Seconds t = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+      timeline.add_pulse(t, t + 0.004, 4.5);
+      t += 0.01;
+      if (i % 100 == 99) benchmark::DoNotOptimize(timeline.energy_until(t));
+    }
+    benchmark::DoNotOptimize(timeline.energy_until(t + 1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_PowerTimelineIntegration);
+
+void BM_SrtParse(benchmark::State& state) {
+  workload::CelloParams params;
+  params.duration = 30.0;
+  workload::CelloModel model(params);
+  std::ostringstream out;
+  trace::write_srt(out, model.generate_srt());
+  const std::string text = out.str();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    auto records = trace::parse_srt(in);
+    benchmark::DoNotOptimize(records.data());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(records.size()));
+  }
+}
+BENCHMARK(BM_SrtParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Example: a command-line front end speaking the GUI line protocol —
+// the evaluation-host control surface without the Windows GUI. Commands
+// come from stdin (or a script via shell redirection), are translated by
+// net::Parser into wire messages, and drive an EvaluationHost.
+//
+//   CONFIGURE_TEST rs=16K rnd=50 rd=25 load=60
+//   START_TEST
+//   CONFIGURE_TEST rs=4K rnd=100 rd=0 load=100
+//   START_TEST
+//   STOP_TEST
+//
+// Every completed test prints its database record; STOP_TEST (or EOF)
+// exports the session database to tracer_results.csv.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/remote.h"
+#include "net/parser.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace tracer;
+
+  const std::string device = argc > 1 ? argv[1] : "hdd";
+  storage::ArrayConfig config = device == "ssd"
+                                    ? storage::ArrayConfig::ssd_testbed(4)
+                                    : storage::ArrayConfig::hdd_testbed(6);
+
+  core::EvaluationOptions options;
+  options.collection_duration = 3.0;
+  core::EvaluationHost host(
+      config, std::filesystem::temp_directory_path() / "tracer-cli",
+      options);
+  core::WorkloadGeneratorService service(host);
+
+  std::printf("TRACER CLI — array %s. Commands: CONFIGURE_TEST rs=<size> "
+              "rnd=<pct> rd=<pct> load=<pct> | START_TEST | STOP_TEST\n",
+              config.name.c_str());
+
+  std::string line;
+  std::uint32_t sequence = 1;
+  while (std::getline(std::cin, line)) {
+    if (util::trim(line).empty()) continue;
+    net::Message command;
+    try {
+      command = net::Parser::parse_command(line);
+    } catch (const std::exception& e) {
+      std::printf("! %s\n", e.what());
+      continue;
+    }
+    // The GUI convention: percentages on the wire, ratios in the record.
+    if (command.type == net::MessageType::kConfigureTest) {
+      net::Message translated = command;
+      std::uint64_t size = 0;
+      if (auto rs = command.get("rs");
+          !rs || !util::parse_size(*rs, size)) {
+        std::printf("! CONFIGURE_TEST needs rs=<size>\n");
+        continue;
+      }
+      translated.fields.clear();
+      translated.set_u64("request_size", size);
+      translated.set_double("random_ratio",
+                            command.get_double("rnd").value_or(0.0) / 100.0);
+      translated.set_double("read_ratio",
+                            command.get_double("rd").value_or(0.0) / 100.0);
+      translated.set_double(
+          "load_proportion",
+          command.get_double("load").value_or(100.0) / 100.0);
+      command = translated;
+    }
+    command.sequence = sequence++;
+
+    const net::Message reply = service.handle(command);
+    std::printf("< %s\n", net::Parser::format_message(reply).c_str());
+    if (command.type == net::MessageType::kStopTest) break;
+  }
+
+  const std::string csv = "tracer_results.csv";
+  host.database().export_csv(csv);
+  std::printf("%zu records written to %s\n", host.database().size(),
+              csv.c_str());
+  return 0;
+}

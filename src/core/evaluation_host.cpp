@@ -1,0 +1,131 @@
+#include "core/evaluation_host.h"
+
+#include <chrono>
+#include <ctime>
+
+#include "core/proportional_filter.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic_generator.h"
+
+namespace tracer::core {
+
+namespace {
+std::string now_iso8601() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  char buffer[32];
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buffer;
+}
+}  // namespace
+
+EvaluationHost::EvaluationHost(const storage::ArrayConfig& array,
+                               std::filesystem::path repository_dir,
+                               EvaluationOptions options)
+    : array_(array),
+      repository_(std::move(repository_dir)),
+      options_(options) {}
+
+trace::Trace EvaluationHost::peak_trace(const workload::WorkloadMode& mode) {
+  const trace::TraceKey key = mode.trace_key(array_.name);
+  {
+    std::lock_guard<std::mutex> lock(collect_mutex_);
+    if (repository_.contains(key)) return repository_.load(key);
+  }
+  // Collect outside the lock: independent modes may collect in parallel;
+  // the store below is idempotent (same mode -> same deterministic trace).
+  sim::Simulator sim;
+  storage::DiskArray array(sim, array_);
+  workload::SyntheticParams params = workload::SyntheticParams::from_mode(
+      mode, options_.collection_duration,
+      options_.seed ^ (static_cast<std::uint64_t>(key.random_pct) << 32 |
+                       static_cast<std::uint64_t>(key.read_pct) << 16 |
+                       mode.request_size));
+  workload::SyntheticGenerator generator(sim, array, params);
+  workload::GeneratorResult result = generator.run();
+  result.trace.device = array_.name;
+  TRACER_LOG(kInfo) << "collected peak trace " << key.file_name() << ": "
+                    << result.trace.bunch_count() << " bunches, "
+                    << result.requests << " requests, "
+                    << result.achieved_iops << " IOPS";
+  {
+    std::lock_guard<std::mutex> lock(collect_mutex_);
+    if (!repository_.contains(key)) repository_.store(key, result.trace);
+  }
+  return result.trace;
+}
+
+TestResult EvaluationHost::replay_filtered(const trace::Trace& peak,
+                                           const std::string& trace_name,
+                                           const workload::WorkloadMode& mode) {
+  const trace::Trace filtered =
+      mode.load_proportion >= 1.0
+          ? peak
+          : ProportionalFilter::apply(peak, mode.load_proportion);
+
+  ReplayOptions replay_options;
+  replay_options.sampling_cycle = options_.sampling_cycle;
+  replay_options.sensor_seed = options_.seed ^ 0x9e3779b9ULL;
+  replay_options.on_cycle = options_.on_cycle;
+  ReplayEngine engine(replay_options);
+  storage::ArrayConfig config = array_;
+  storage::DiskArray array(engine.simulator(), config);
+  ReplayReport report = engine.replay(filtered, array);
+
+  TestResult result;
+  result.record.timestamp = now_iso8601();
+  result.record.device = array_.name;
+  result.record.trace_name = trace_name;
+  result.record.request_size = mode.request_size;
+  result.record.random_ratio = mode.random_ratio;
+  result.record.read_ratio = mode.read_ratio;
+  result.record.load_proportion = mode.load_proportion;
+  result.record.avg_amps = report.avg_amps;
+  result.record.avg_volts = report.avg_volts;
+  result.record.avg_watts = report.avg_watts;
+  result.record.joules = report.joules;
+  result.record.iops = report.perf.iops;
+  result.record.mbps = report.perf.mbps;
+  result.record.avg_response_ms = report.perf.avg_response_ms;
+  result.record.iops_per_watt = report.efficiency.iops_per_watt;
+  result.record.mbps_per_kilowatt = report.efficiency.mbps_per_kilowatt;
+  result.record.test_id = database_.insert(result.record);
+  TRACER_LOG(kInfo) << "test " << result.record.test_id << " [" << trace_name
+                    << " @ " << mode.load_proportion * 100 << "%]: "
+                    << result.record.iops << " IOPS, "
+                    << result.record.avg_watts << " W, "
+                    << result.record.iops_per_watt << " IOPS/W";
+  result.report = std::move(report);
+  return result;
+}
+
+TestResult EvaluationHost::run_test(const workload::WorkloadMode& mode) {
+  const trace::Trace peak = peak_trace(mode);
+  return replay_filtered(peak, mode.trace_key(array_.name).file_name(), mode);
+}
+
+TestResult EvaluationHost::run_trace(const trace::Trace& trace,
+                                     const std::string& trace_name,
+                                     double load_proportion) {
+  workload::WorkloadMode mode;
+  mode.request_size = static_cast<Bytes>(trace.mean_request_size());
+  mode.read_ratio = trace.read_ratio();
+  mode.random_ratio = 0.0;  // unknown for external traces
+  mode.load_proportion = load_proportion;
+  return replay_filtered(trace, trace_name, mode);
+}
+
+std::vector<TestResult> EvaluationHost::run_sweep(
+    const std::vector<workload::WorkloadMode>& modes) {
+  std::vector<TestResult> results(modes.size());
+  util::ThreadPool pool(options_.threads);
+  pool.parallel_for(modes.size(), [this, &modes, &results](std::size_t i) {
+    results[i] = run_test(modes[i]);
+  });
+  return results;
+}
+
+}  // namespace tracer::core

@@ -1,0 +1,87 @@
+// Evaluation host (§III-A1): the kernel control part. Owns the trace
+// repository and the results database, builds peak traces on demand (via
+// the synthetic generator), applies the proportional filter, runs replays,
+// and stores one database record per test — the whole §III-B procedure as
+// a library call.
+//
+// Sweeps fan out across a thread pool: each test gets its own simulator and
+// its own array instance, the in-process analogue of Fig 3's multiple
+// workload-generator machines and multi-channel power analyzers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/replay_engine.h"
+#include "db/database.h"
+#include "storage/disk_array.h"
+#include "trace/repository.h"
+#include "workload/workload_mode.h"
+
+namespace tracer::core {
+
+struct EvaluationOptions {
+  Seconds collection_duration = 4.0;  ///< peak-trace collection window
+  Seconds sampling_cycle = 1.0;
+  std::size_t threads = 0;            ///< 0 = hardware concurrency
+  std::uint64_t seed = 2024;
+  /// Live per-cycle monitoring hook, forwarded to every replay. In sweeps
+  /// this is called concurrently from worker threads.
+  std::function<void(const CycleSnapshot&)> on_cycle;
+};
+
+/// One completed test plus the raw replay report backing its record.
+struct TestResult {
+  db::TestRecord record;
+  ReplayReport report;
+};
+
+class EvaluationHost {
+ public:
+  EvaluationHost(const storage::ArrayConfig& array,
+                 std::filesystem::path repository_dir,
+                 EvaluationOptions options = EvaluationOptions{});
+
+  /// Fetch the peak trace for a mode from the repository, collecting it
+  /// first (IOmeter-style saturation run + trace collector) when absent.
+  trace::Trace peak_trace(const workload::WorkloadMode& mode);
+
+  /// Run one test: filter the mode's peak trace to mode.load_proportion,
+  /// replay on a fresh array instance, meter, record.
+  TestResult run_test(const workload::WorkloadMode& mode);
+
+  /// Replay an externally supplied trace (real-world workloads) at a load
+  /// proportion. `trace_name` labels the database record.
+  TestResult run_trace(const trace::Trace& trace, const std::string& trace_name,
+                       double load_proportion);
+
+  /// Run a whole sweep in parallel; results come back in input order.
+  std::vector<TestResult> run_sweep(
+      const std::vector<workload::WorkloadMode>& modes);
+
+  /// Install/replace the live monitoring hook (see EvaluationOptions).
+  /// Not thread-safe with respect to concurrently running tests.
+  void set_cycle_callback(std::function<void(const CycleSnapshot&)> hook) {
+    options_.on_cycle = std::move(hook);
+  }
+
+  db::Database& database() { return database_; }
+  const storage::ArrayConfig& array_config() const { return array_; }
+  trace::TraceRepository& repository() { return repository_; }
+
+ private:
+  TestResult replay_filtered(const trace::Trace& peak,
+                             const std::string& trace_name,
+                             const workload::WorkloadMode& mode);
+
+  storage::ArrayConfig array_;
+  trace::TraceRepository repository_;
+  EvaluationOptions options_;
+  db::Database database_;
+  std::mutex collect_mutex_;  ///< serialises on-demand trace collection
+};
+
+}  // namespace tracer::core

@@ -1,0 +1,34 @@
+#include "core/interarrival_scaler.h"
+
+#include <stdexcept>
+
+namespace tracer::core {
+
+trace::Trace InterarrivalScaler::scale(const trace::Trace& trace,
+                                       double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("InterarrivalScaler: factor must be > 0");
+  }
+  trace::Trace out;
+  out.device = trace.device;
+  out.bunches.reserve(trace.bunches.size());
+  for (const auto& bunch : trace.bunches) {
+    trace::Bunch scaled = bunch;
+    scaled.timestamp = bunch.timestamp / factor;
+    out.bunches.push_back(std::move(scaled));
+  }
+  return out;
+}
+
+trace::Trace InterarrivalScaler::scale_to_duration(const trace::Trace& trace,
+                                                   Seconds target_duration) {
+  if (!(target_duration > 0.0)) {
+    throw std::invalid_argument(
+        "InterarrivalScaler: target duration must be > 0");
+  }
+  const Seconds duration = trace.duration();
+  if (duration <= 0.0) return trace;  // single-instant traces can't stretch
+  return scale(trace, duration / target_duration);
+}
+
+}  // namespace tracer::core

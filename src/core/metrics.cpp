@@ -1,0 +1,47 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+
+namespace tracer::core {
+
+EfficiencyMetrics compute_efficiency(double iops, double mbps, Watts watts) {
+  if (!(watts > 0.0)) {
+    throw std::invalid_argument("compute_efficiency: watts must be > 0");
+  }
+  EfficiencyMetrics metrics;
+  metrics.iops_per_watt = iops / watts;
+  metrics.mbps_per_kilowatt = mbps / (watts / 1000.0);
+  return metrics;
+}
+
+double load_proportion(double throughput_original,
+                       double throughput_manipulated) {
+  if (!(throughput_original > 0.0)) {
+    throw std::invalid_argument(
+        "load_proportion: original throughput must be > 0");
+  }
+  return throughput_manipulated / throughput_original;
+}
+
+double load_control_accuracy(double measured_proportion,
+                             double configured_proportion) {
+  if (!(configured_proportion > 0.0)) {
+    throw std::invalid_argument(
+        "load_control_accuracy: configured proportion must be > 0");
+  }
+  return measured_proportion / configured_proportion;
+}
+
+LoadControlRow make_load_control_row(double configured, double base_iops,
+                                     double base_mbps, double iops,
+                                     double mbps) {
+  LoadControlRow row;
+  row.configured = configured;
+  row.measured_iops_lp = load_proportion(base_iops, iops);
+  row.measured_mbps_lp = load_proportion(base_mbps, mbps);
+  row.accuracy_iops = load_control_accuracy(row.measured_iops_lp, configured);
+  row.accuracy_mbps = load_control_accuracy(row.measured_mbps_lp, configured);
+  return row;
+}
+
+}  // namespace tracer::core

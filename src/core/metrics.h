@@ -1,0 +1,45 @@
+// TRACER's evaluation metrics (§V-B) and load-control accuracy equations
+// (§VI-B, eqs. 1-2).
+//
+//   IOPS/Watt       — I/O requests processed per second per watt drawn
+//   MBPS/Kilowatt   — decimal MB moved per second per kilowatt drawn
+//   LP(f, f')       = T(f') / T(f)          (eq. 1, measured load proportion)
+//   A(f, f')        = LP(f, f') / LP_config (eq. 2, load-control accuracy)
+#pragma once
+
+#include "util/types.h"
+
+namespace tracer::core {
+
+struct EfficiencyMetrics {
+  double iops_per_watt = 0.0;
+  double mbps_per_kilowatt = 0.0;
+};
+
+/// Throws std::invalid_argument when watts <= 0 (a zero-power reading is
+/// an instrumentation failure, not free I/O).
+EfficiencyMetrics compute_efficiency(double iops, double mbps, Watts watts);
+
+/// Eq. 1: measured load proportion from original / manipulated throughput
+/// (either IOPS or MBPS — the paper reports both).
+double load_proportion(double throughput_original,
+                       double throughput_manipulated);
+
+/// Eq. 2: accuracy of the load control. Ideal is exactly 1.0.
+double load_control_accuracy(double measured_proportion,
+                             double configured_proportion);
+
+/// One row of a Table IV / Table V style accuracy sweep.
+struct LoadControlRow {
+  double configured = 0.0;       ///< configured load proportion (0,1]
+  double measured_iops_lp = 0.0; ///< eq. 1 with IOPS throughput
+  double measured_mbps_lp = 0.0; ///< eq. 1 with MBPS throughput
+  double accuracy_iops = 0.0;    ///< eq. 2
+  double accuracy_mbps = 0.0;    ///< eq. 2
+};
+
+LoadControlRow make_load_control_row(double configured, double base_iops,
+                                     double base_mbps, double iops,
+                                     double mbps);
+
+}  // namespace tracer::core

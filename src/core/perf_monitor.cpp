@@ -1,0 +1,66 @@
+#include "core/perf_monitor.h"
+
+#include <algorithm>
+
+namespace tracer::core {
+
+namespace {
+// Response-time histogram range: 10 us .. 10 s in 2000 log-friendly linear
+// bins of 5 ms; storage latencies beyond 10 s clamp into the last bin.
+constexpr double kHistLoMs = 0.0;
+constexpr double kHistHiMs = 10000.0;
+constexpr std::size_t kHistBins = 2000;
+}  // namespace
+
+PerfMonitor::PerfMonitor(Seconds sampling_cycle)
+    : cycle_(sampling_cycle),
+      ops_(sampling_cycle),
+      bytes_series_(sampling_cycle),
+      latency_hist_(kHistLoMs, kHistHiMs, kHistBins) {}
+
+void PerfMonitor::on_complete(const storage::IoCompletion& completion) {
+  ++completions_;
+  bytes_ += completion.bytes;
+  last_finish_ = std::max(last_finish_, completion.finish_time);
+  ops_.add(completion.finish_time, 1.0);
+  bytes_series_.add(completion.finish_time,
+                    static_cast<double>(completion.bytes));
+  const double latency_ms = completion.latency() * 1e3;
+  latency_.add(latency_ms);
+  latency_hist_.add(latency_ms);
+}
+
+PerfReport PerfMonitor::report(Seconds duration) const {
+  PerfReport out;
+  out.completions = completions_;
+  out.bytes = bytes_;
+  out.duration = duration > 0.0 ? duration : last_finish_;
+  if (out.duration > 0.0) {
+    out.iops = static_cast<double>(completions_) / out.duration;
+    out.mbps = static_cast<double>(bytes_) / out.duration / 1.0e6;
+  }
+  out.avg_response_ms = latency_.mean();
+  out.p95_response_ms = latency_hist_.percentile(0.95);
+  out.max_response_ms = latency_.max();
+  out.iops_series.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    out.iops_series.push_back(ops_.bin_rate(i));
+  }
+  out.mbps_series.reserve(bytes_series_.size());
+  for (std::size_t i = 0; i < bytes_series_.size(); ++i) {
+    out.mbps_series.push_back(bytes_series_.bin_rate(i) / 1.0e6);
+  }
+  return out;
+}
+
+void PerfMonitor::reset() {
+  ops_ = util::TimeBinnedSeries(cycle_);
+  bytes_series_ = util::TimeBinnedSeries(cycle_);
+  latency_.reset();
+  latency_hist_.reset();
+  completions_ = 0;
+  bytes_ = 0;
+  last_finish_ = 0.0;
+}
+
+}  // namespace tracer::core

@@ -1,0 +1,56 @@
+// Performance monitor: aggregates I/O completions into per-sampling-cycle
+// IOPS/MBPS series and response-time statistics — the performance half of
+// each database record (§III-A2: "monitors and tracks performance
+// information like I/O throughput (measured in MBPS and IOPS) and average
+// response time").
+#pragma once
+
+#include "storage/io_request.h"
+#include "util/stats.h"
+
+namespace tracer::core {
+
+struct PerfReport {
+  std::uint64_t completions = 0;
+  Bytes bytes = 0;
+  Seconds duration = 0.0;  ///< measurement window used for the rates
+
+  double iops = 0.0;
+  double mbps = 0.0;  ///< decimal MB/s, matching the paper's MBPS
+  double avg_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double max_response_ms = 0.0;
+
+  /// Per-cycle rates (the GUI's real-time display; Fig 12's series).
+  std::vector<double> iops_series;
+  std::vector<double> mbps_series;
+};
+
+class PerfMonitor {
+ public:
+  explicit PerfMonitor(Seconds sampling_cycle = 1.0);
+
+  /// Record one completion.
+  void on_complete(const storage::IoCompletion& completion);
+
+  std::uint64_t completions() const { return completions_; }
+  Bytes bytes() const { return bytes_; }
+
+  /// Build the report. `duration`: measurement window; 0 uses the time of
+  /// the last completion.
+  PerfReport report(Seconds duration = 0.0) const;
+
+  void reset();
+
+ private:
+  Seconds cycle_;
+  util::TimeBinnedSeries ops_;
+  util::TimeBinnedSeries bytes_series_;
+  util::RunningStats latency_;
+  util::Histogram latency_hist_;
+  std::uint64_t completions_ = 0;
+  Bytes bytes_ = 0;
+  Seconds last_finish_ = 0.0;
+};
+
+}  // namespace tracer::core

@@ -1,0 +1,84 @@
+#include "core/proportional_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tracer::core {
+
+std::vector<bool> ProportionalFilter::selection_pattern(
+    std::size_t group_size, std::size_t select_count) {
+  if (group_size == 0 || select_count == 0 || select_count > group_size) {
+    throw std::invalid_argument(
+        "ProportionalFilter: need 1 <= select_count <= group_size");
+  }
+  std::vector<bool> pattern(group_size, false);
+  for (std::size_t i = 0; i < group_size; ++i) {
+    const std::size_t before = i * select_count / group_size;
+    const std::size_t after = (i + 1) * select_count / group_size;
+    pattern[i] = after > before;
+  }
+  return pattern;
+}
+
+std::size_t ProportionalFilter::select_count_for(double proportion,
+                                                 std::size_t group_size) {
+  if (!(proportion > 0.0) || proportion > 1.0) {
+    throw std::invalid_argument(
+        "ProportionalFilter: proportion must be in (0, 1]");
+  }
+  const auto k = static_cast<std::size_t>(
+      std::lround(proportion * static_cast<double>(group_size)));
+  return std::clamp<std::size_t>(k, 1, group_size);
+}
+
+trace::Trace ProportionalFilter::apply(const trace::Trace& trace,
+                                       double proportion,
+                                       std::size_t group_size) {
+  const std::size_t k = select_count_for(proportion, group_size);
+  const auto pattern = selection_pattern(group_size, k);
+
+  trace::Trace out;
+  out.device = trace.device;
+  out.bunches.reserve(trace.bunches.size() * k / group_size + 1);
+  for (std::size_t i = 0; i < trace.bunches.size(); ++i) {
+    if (pattern[i % group_size]) {
+      out.bunches.push_back(trace.bunches[i]);
+    }
+  }
+  return out;
+}
+
+trace::Trace ProportionalFilter::apply_random(const trace::Trace& trace,
+                                              double proportion,
+                                              std::uint64_t seed,
+                                              std::size_t group_size) {
+  const std::size_t k = select_count_for(proportion, group_size);
+  util::Rng rng(seed);
+
+  trace::Trace out;
+  out.device = trace.device;
+  std::vector<std::size_t> positions(group_size);
+  for (std::size_t group_start = 0; group_start < trace.bunches.size();
+       group_start += group_size) {
+    const std::size_t group_len =
+        std::min(group_size, trace.bunches.size() - group_start);
+    // Partial Fisher-Yates: draw k distinct positions within the group.
+    positions.resize(group_len);
+    for (std::size_t i = 0; i < group_len; ++i) positions[i] = i;
+    const std::size_t take = std::min(k, group_len);
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(group_len - i));
+      std::swap(positions[i], positions[j]);
+    }
+    std::sort(positions.begin(),
+              positions.begin() + static_cast<std::ptrdiff_t>(take));
+    for (std::size_t i = 0; i < take; ++i) {
+      out.bunches.push_back(trace.bunches[group_start + positions[i]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tracer::core

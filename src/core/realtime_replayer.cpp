@@ -1,0 +1,138 @@
+#include "core/realtime_replayer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace tracer::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Seconds since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+SyntheticRealtimeTarget::SyntheticRealtimeTarget(
+    std::function<Seconds(const storage::IoRequest&)> latency_model)
+    : latency_model_(std::move(latency_model)),
+      worker_([this] { worker_loop(); }) {}
+
+SyntheticRealtimeTarget::~SyntheticRealtimeTarget() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void SyntheticRealtimeTarget::submit(const storage::IoRequest& request,
+                                     Seconds /*issue_time*/,
+                                     std::function<void(Seconds)> done) {
+  Job job{latency_model_(request), std::move(done)};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void SyntheticRealtimeTarget::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    if (job.latency > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(job.latency));
+    }
+    job.done(job.latency);
+  }
+}
+
+RealtimeReplayer::RealtimeReplayer(double speed) : speed_(speed) {
+  if (!(speed > 0.0)) {
+    throw std::invalid_argument("RealtimeReplayer: speed must be > 0");
+  }
+}
+
+RealtimeReport RealtimeReplayer::replay(const trace::Trace& trace,
+                                        RealtimeTarget& target) {
+  if (trace.empty()) {
+    throw std::invalid_argument("RealtimeReplayer: empty trace");
+  }
+
+  struct Completion {
+    Seconds latency;
+    Bytes bytes;
+  };
+  util::SpscQueue<Completion> completions(1 << 16);
+  std::atomic<std::uint64_t> outstanding{0};
+
+  RealtimeReport report;
+  const Clock::time_point start = Clock::now();
+  std::uint64_t next_id = 1;
+  double max_skew = 0.0;
+
+  for (const auto& bunch : trace.bunches) {
+    const Seconds scheduled = bunch.timestamp / speed_;
+    const Seconds ahead = scheduled - since(start);
+    if (ahead > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+    }
+    max_skew = std::max(max_skew, std::abs(since(start) - scheduled));
+    for (const auto& pkg : bunch.packages) {
+      storage::IoRequest request;
+      request.id = next_id++;
+      request.sector = pkg.sector;
+      request.bytes = pkg.bytes;
+      request.op = pkg.op;
+      outstanding.fetch_add(1, std::memory_order_relaxed);
+      const Bytes bytes = pkg.bytes;
+      target.submit(request, since(start),
+                    [&completions, &outstanding, bytes](Seconds latency) {
+                      // The SPSC producer is the target's completion thread.
+                      while (!completions.try_push(Completion{latency, bytes})) {
+                        std::this_thread::yield();
+                      }
+                      outstanding.fetch_sub(1, std::memory_order_release);
+                    });
+      ++report.packages;
+      report.bytes += pkg.bytes;
+    }
+    // Drain completions opportunistically to bound queue occupancy.
+    while (auto completion = completions.try_pop()) {
+      report.avg_latency_ms += completion->latency * 1e3;
+    }
+  }
+
+  while (outstanding.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  while (auto completion = completions.try_pop()) {
+    report.avg_latency_ms += completion->latency * 1e3;
+  }
+
+  report.wall_duration = since(start);
+  if (report.packages > 0) {
+    report.avg_latency_ms /= static_cast<double>(report.packages);
+  }
+  if (report.wall_duration > 0.0) {
+    report.iops = static_cast<double>(report.packages) / report.wall_duration;
+    report.mbps =
+        static_cast<double>(report.bytes) / report.wall_duration / 1.0e6;
+  }
+  report.max_timing_error_ms = max_skew * 1e3;
+  return report;
+}
+
+}  // namespace tracer::core

@@ -1,0 +1,92 @@
+// Wall-clock trace replayer.
+//
+// The DES ReplayEngine is what the benches use (fast, deterministic); this
+// replayer is the deployable tool shape: a dedicated issuing thread sleeps
+// until each bunch's timestamp and pushes its packages to a RealtimeTarget
+// (on a production system: an io_uring/O_DIRECT backend against a real
+// block device). Completions stream back over an SPSC queue to the
+// monitoring thread, which aggregates per-cycle statistics exactly like
+// the DES path.
+//
+// A speed factor replays faster than real time for testing (the inverse of
+// the Fig 2 inter-arrival scaling).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/perf_monitor.h"
+#include "storage/io_request.h"
+#include "trace/trace.h"
+#include "util/spsc_queue.h"
+
+namespace tracer::core {
+
+/// Destination of real-time replay. Implementations must be thread-safe:
+/// submit() is called from the issuing thread.
+class RealtimeTarget {
+ public:
+  virtual ~RealtimeTarget() = default;
+
+  /// Submit one request; `issue_time` is seconds since replay start.
+  /// Implementations call `done(latency_seconds)` when the I/O completes
+  /// (possibly on another thread).
+  virtual void submit(const storage::IoRequest& request, Seconds issue_time,
+                      std::function<void(Seconds)> done) = 0;
+};
+
+/// A RealtimeTarget that services requests after a synthetic latency on a
+/// small worker thread — the test double standing in for real hardware.
+class SyntheticRealtimeTarget final : public RealtimeTarget {
+ public:
+  /// latency_model: request -> service latency in seconds.
+  explicit SyntheticRealtimeTarget(
+      std::function<Seconds(const storage::IoRequest&)> latency_model);
+  ~SyntheticRealtimeTarget() override;
+
+  void submit(const storage::IoRequest& request, Seconds issue_time,
+              std::function<void(Seconds)> done) override;
+
+ private:
+  struct Job {
+    Seconds latency;
+    std::function<void(Seconds)> done;
+  };
+  void worker_loop();
+
+  std::function<Seconds(const storage::IoRequest&)> latency_model_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+struct RealtimeReport {
+  std::uint64_t packages = 0;
+  Bytes bytes = 0;
+  Seconds wall_duration = 0.0;  ///< actual elapsed wall time (scaled domain)
+  double iops = 0.0;
+  double mbps = 0.0;
+  double avg_latency_ms = 0.0;
+  double max_timing_error_ms = 0.0;  ///< |actual - scheduled| issue skew
+};
+
+class RealtimeReplayer {
+ public:
+  /// speed: >1 replays faster than the trace's own clock.
+  explicit RealtimeReplayer(double speed = 1.0);
+
+  /// Blocking: replays the whole trace, then waits for completions.
+  RealtimeReport replay(const trace::Trace& trace, RealtimeTarget& target);
+
+ private:
+  double speed_;
+};
+
+}  // namespace tracer::core

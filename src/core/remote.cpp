@@ -1,0 +1,157 @@
+#include "core/remote.h"
+
+namespace tracer::core {
+
+net::Message encode_mode(const workload::WorkloadMode& mode) {
+  net::Message message;
+  message.type = net::MessageType::kConfigureTest;
+  message.set_u64("request_size", mode.request_size);
+  message.set_double("random_ratio", mode.random_ratio);
+  message.set_double("read_ratio", mode.read_ratio);
+  message.set_double("load_proportion", mode.load_proportion);
+  return message;
+}
+
+std::optional<workload::WorkloadMode> decode_mode(
+    const net::Message& message) {
+  const auto size = message.get_u64("request_size");
+  const auto random_ratio = message.get_double("random_ratio");
+  const auto read_ratio = message.get_double("read_ratio");
+  const auto load = message.get_double("load_proportion");
+  if (!size || !random_ratio || !read_ratio || !load) return std::nullopt;
+  workload::WorkloadMode mode;
+  mode.request_size = *size;
+  mode.random_ratio = *random_ratio;
+  mode.read_ratio = *read_ratio;
+  mode.load_proportion = *load;
+  return mode;
+}
+
+net::Message encode_record(const db::TestRecord& record) {
+  net::Message message;
+  message.type = net::MessageType::kPerfResult;
+  message.set("device", record.device);
+  message.set("trace", record.trace_name);
+  message.set_u64("request_size", record.request_size);
+  message.set_double("random_ratio", record.random_ratio);
+  message.set_double("read_ratio", record.read_ratio);
+  message.set_double("load_proportion", record.load_proportion);
+  message.set_double("avg_amps", record.avg_amps);
+  message.set_double("avg_volts", record.avg_volts);
+  message.set_double("avg_watts", record.avg_watts);
+  message.set_double("joules", record.joules);
+  message.set_double("iops", record.iops);
+  message.set_double("mbps", record.mbps);
+  message.set_double("avg_response_ms", record.avg_response_ms);
+  message.set_double("iops_per_watt", record.iops_per_watt);
+  message.set_double("mbps_per_kilowatt", record.mbps_per_kilowatt);
+  return message;
+}
+
+std::optional<db::TestRecord> decode_record(const net::Message& message) {
+  db::TestRecord record;
+  const auto device = message.get("device");
+  const auto trace_name = message.get("trace");
+  const auto size = message.get_u64("request_size");
+  if (!device || !trace_name || !size) return std::nullopt;
+  record.device = *device;
+  record.trace_name = *trace_name;
+  record.request_size = *size;
+  auto take = [&message](const char* key, double& out) {
+    if (auto v = message.get_double(key)) out = *v;
+  };
+  take("random_ratio", record.random_ratio);
+  take("read_ratio", record.read_ratio);
+  take("load_proportion", record.load_proportion);
+  take("avg_amps", record.avg_amps);
+  take("avg_volts", record.avg_volts);
+  take("avg_watts", record.avg_watts);
+  take("joules", record.joules);
+  take("iops", record.iops);
+  take("mbps", record.mbps);
+  take("avg_response_ms", record.avg_response_ms);
+  take("iops_per_watt", record.iops_per_watt);
+  take("mbps_per_kilowatt", record.mbps_per_kilowatt);
+  return record;
+}
+
+net::Message WorkloadGeneratorService::handle(const net::Message& command) {
+  switch (command.type) {
+    case net::MessageType::kConfigureTest: {
+      auto mode = decode_mode(command);
+      if (!mode) {
+        return net::make_error(command.sequence, "bad workload mode");
+      }
+      configured_ = *mode;
+      return net::make_ack(command.sequence);
+    }
+    case net::MessageType::kStartTest: {
+      if (!configured_) {
+        return net::make_error(command.sequence, "no test configured");
+      }
+      TestResult result = host_.run_test(*configured_);
+      net::Message reply = encode_record(result.record);
+      reply.sequence = command.sequence;
+      return reply;
+    }
+    case net::MessageType::kStopTest:
+      return net::make_ack(command.sequence);
+    default:
+      return net::make_error(command.sequence,
+                             std::string("unsupported command ") +
+                                 net::to_string(command.type));
+  }
+}
+
+void WorkloadGeneratorService::serve(net::Communicator& comm) {
+  while (true) {
+    auto command = comm.recv(/*timeout=*/3600.0);
+    if (!command) return;  // peer hung up or idle timeout
+
+    // While a test runs, stream per-cycle PROGRESS frames — the wire form
+    // of the GUI's real-time display. Sequence 0 marks them out-of-band.
+    if (command->type == net::MessageType::kStartTest) {
+      host_.set_cycle_callback([&comm](const CycleSnapshot& snapshot) {
+        net::Message progress;
+        progress.type = net::MessageType::kProgress;
+        progress.sequence = 0;
+        progress.set_double("time", snapshot.time);
+        progress.set_double("iops", snapshot.iops);
+        progress.set_double("mbps", snapshot.mbps);
+        progress.set_double("watts", snapshot.watts);
+        progress.set_u64("completions", snapshot.completions);
+        progress.set_u64("in_flight", snapshot.in_flight);
+        comm.send_oob(progress);
+      });
+    }
+    net::Message reply = handle(*command);
+    host_.set_cycle_callback(nullptr);
+    reply.sequence = command->sequence;
+    comm.send(std::move(reply));
+    if (command->type == net::MessageType::kStopTest) return;
+  }
+}
+
+bool RemoteWorkloadClient::configure(const workload::WorkloadMode& mode,
+                                     Seconds timeout) {
+  auto reply = comm_.request(encode_mode(mode), timeout);
+  return reply && reply->type == net::MessageType::kAck;
+}
+
+std::optional<db::TestRecord> RemoteWorkloadClient::start(Seconds timeout) {
+  net::Message command;
+  command.type = net::MessageType::kStartTest;
+  auto reply = comm_.request(std::move(command), timeout);
+  if (!reply || reply->type != net::MessageType::kPerfResult) {
+    return std::nullopt;
+  }
+  return decode_record(*reply);
+}
+
+void RemoteWorkloadClient::stop() {
+  net::Message command;
+  command.type = net::MessageType::kStopTest;
+  comm_.request(std::move(command), 10.0);
+}
+
+}  // namespace tracer::core

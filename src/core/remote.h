@@ -1,0 +1,56 @@
+// Distributed deployment adapters (Fig 1 / Fig 3): the workload-generator
+// host as a message-driven service, and the evaluation-host side client
+// that drives it over a net::Channel. The same frames would flow over TCP
+// between machines; here each service runs on its own thread.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "core/evaluation_host.h"
+#include "net/communicator.h"
+
+namespace tracer::core {
+
+/// Server side: wraps an EvaluationHost and serves CONFIGURE_TEST /
+/// START_TEST / STOP_TEST commands.
+class WorkloadGeneratorService {
+ public:
+  explicit WorkloadGeneratorService(EvaluationHost& host) : host_(host) {}
+
+  /// Serve until STOP_TEST or peer hang-up. Run this on the service thread.
+  void serve(net::Communicator& comm);
+
+  /// Handle one command synchronously (exposed for tests).
+  net::Message handle(const net::Message& command);
+
+ private:
+  EvaluationHost& host_;
+  std::optional<workload::WorkloadMode> configured_;
+};
+
+/// Client side: the evaluation host's view of a remote workload generator.
+class RemoteWorkloadClient {
+ public:
+  explicit RemoteWorkloadClient(net::Communicator& comm) : comm_(comm) {}
+
+  /// CONFIGURE_TEST with the mode vector; true on ACK.
+  bool configure(const workload::WorkloadMode& mode, Seconds timeout = 30.0);
+
+  /// START_TEST; returns the PERF_RESULT-decoded record on success.
+  std::optional<db::TestRecord> start(Seconds timeout = 300.0);
+
+  /// STOP_TEST (shuts the service loop down).
+  void stop();
+
+ private:
+  net::Communicator& comm_;
+};
+
+/// Field-level encoding shared by both sides (also used by tests).
+net::Message encode_mode(const workload::WorkloadMode& mode);
+std::optional<workload::WorkloadMode> decode_mode(const net::Message& message);
+net::Message encode_record(const db::TestRecord& record);
+std::optional<db::TestRecord> decode_record(const net::Message& message);
+
+}  // namespace tracer::core

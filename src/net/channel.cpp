@@ -1,0 +1,88 @@
+#include "net/channel.h"
+
+#include <chrono>
+
+namespace tracer::net {
+
+std::pair<Endpoint, Endpoint> make_channel() {
+  auto state = std::make_shared<Endpoint::Shared>();
+  return {Endpoint(state, /*is_a=*/true), Endpoint(state, /*is_a=*/false)};
+}
+
+std::deque<Frame>& Endpoint::inbox() const {
+  return is_a_ ? state_->to_a : state_->to_b;
+}
+
+std::deque<Frame>& Endpoint::outbox() const {
+  return is_a_ ? state_->to_b : state_->to_a;
+}
+
+bool Endpoint::peer_open() const {
+  return is_a_ ? state_->b_open : state_->a_open;
+}
+
+bool Endpoint::send(Frame frame) {
+  if (!state_) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!peer_open()) return false;
+    outbox().push_back(std::move(frame));
+  }
+  state_->cv.notify_all();
+  return true;
+}
+
+std::optional<Frame> Endpoint::poll() {
+  if (!state_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  auto& queue = inbox();
+  if (queue.empty()) return std::nullopt;
+  Frame frame = std::move(queue.front());
+  queue.pop_front();
+  return frame;
+}
+
+std::optional<Frame> Endpoint::recv(Seconds timeout) {
+  if (!state_) return std::nullopt;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  auto& queue = inbox();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout));
+  state_->cv.wait_until(lock, deadline, [&] {
+    return !queue.empty() || !peer_open();
+  });
+  if (queue.empty()) return std::nullopt;
+  Frame frame = std::move(queue.front());
+  queue.pop_front();
+  return frame;
+}
+
+void Endpoint::close() {
+  if (!state_) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    (is_a_ ? state_->a_open : state_->b_open) = false;
+  }
+  state_->cv.notify_all();
+  state_.reset();
+}
+
+Endpoint::~Endpoint() { close(); }
+
+Endpoint::Endpoint(Endpoint&& other) noexcept
+    : state_(std::move(other.state_)), is_a_(other.is_a_) {
+  other.state_.reset();
+}
+
+Endpoint& Endpoint::operator=(Endpoint&& other) noexcept {
+  if (this != &other) {
+    close();
+    state_ = std::move(other.state_);
+    is_a_ = other.is_a_;
+    other.state_.reset();
+  }
+  return *this;
+}
+
+}  // namespace tracer::net

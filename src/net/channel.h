@@ -1,0 +1,74 @@
+// In-process duplex byte-frame channel standing in for the testbed's TCP
+// sockets. Frames arrive intact and in order (TCP with a length-prefixed
+// framing layer behaves identically at this abstraction). Thread-safe:
+// the distributed example runs each host on its own thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tracer::net {
+
+using Frame = std::vector<std::uint8_t>;
+
+class Endpoint;
+
+/// Create a connected endpoint pair (client side, server side).
+std::pair<Endpoint, Endpoint> make_channel();
+
+class Endpoint {
+ public:
+  Endpoint() = default;
+
+  bool connected() const { return state_ != nullptr; }
+
+  /// Queue a frame to the peer. Returns false if the peer hung up.
+  bool send(Frame frame);
+
+  /// Non-blocking receive.
+  std::optional<Frame> poll();
+
+  /// Blocking receive with timeout (wall-clock). Returns nullopt on
+  /// timeout or hang-up with an empty queue.
+  std::optional<Frame> recv(Seconds timeout);
+
+  /// Signal hang-up to the peer and detach.
+  void close();
+
+  ~Endpoint();
+  Endpoint(Endpoint&& other) noexcept;
+  Endpoint& operator=(Endpoint&& other) noexcept;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+ private:
+  friend std::pair<Endpoint, Endpoint> make_channel();
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Frame> to_a;
+    std::deque<Frame> to_b;
+    bool a_open = true;
+    bool b_open = true;
+  };
+
+  Endpoint(std::shared_ptr<Shared> state, bool is_a)
+      : state_(std::move(state)), is_a_(is_a) {}
+
+  std::deque<Frame>& inbox() const;
+  std::deque<Frame>& outbox() const;
+  bool peer_open() const;
+
+  std::shared_ptr<Shared> state_;
+  bool is_a_ = false;
+};
+
+}  // namespace tracer::net

@@ -1,0 +1,68 @@
+#include "net/communicator.h"
+
+#include <chrono>
+
+namespace tracer::net {
+
+std::uint32_t Communicator::send(Message message) {
+  if (message.sequence == 0) message.sequence = next_sequence_++;
+  const std::uint32_t sequence = message.sequence;
+  endpoint_.send(message.serialize());
+  return sequence;
+}
+
+void Communicator::send_oob(const Message& message) {
+  endpoint_.send(message.serialize());
+}
+
+std::optional<Message> Communicator::poll() {
+  if (!stash_.empty()) {
+    Message message = std::move(stash_.front());
+    stash_.erase(stash_.begin());
+    return message;
+  }
+  auto frame = endpoint_.poll();
+  if (!frame) return std::nullopt;
+  return Message::deserialize(*frame);
+}
+
+std::optional<Message> Communicator::recv(Seconds timeout) {
+  if (!stash_.empty()) {
+    Message message = std::move(stash_.front());
+    stash_.erase(stash_.begin());
+    return message;
+  }
+  auto frame = endpoint_.recv(timeout);
+  if (!frame) return std::nullopt;
+  return Message::deserialize(*frame);
+}
+
+std::optional<Message> Communicator::request(Message message, Seconds timeout) {
+  message.sequence = next_sequence_++;
+  const std::uint32_t sequence = message.sequence;
+  endpoint_.send(message.serialize());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double>(timeout));
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Seconds remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    auto frame = endpoint_.recv(std::max(remaining, 0.0));
+    if (!frame) break;
+    Message reply = Message::deserialize(*frame);
+    if (reply.sequence == sequence) return reply;
+    stash_.push_back(std::move(reply));
+  }
+  return std::nullopt;
+}
+
+void Communicator::reply(const Message& request, Message reply) {
+  reply.sequence = request.sequence;
+  endpoint_.send(reply.serialize());
+}
+
+}  // namespace tracer::net

@@ -1,0 +1,46 @@
+// Communicator (§III-A1): moves typed Messages over an Endpoint, assigning
+// sequence numbers and matching replies to requests. Both the evaluation
+// host and the workload generator own one.
+#pragma once
+
+#include <optional>
+
+#include "net/channel.h"
+#include "net/message.h"
+
+namespace tracer::net {
+
+class Communicator {
+ public:
+  explicit Communicator(Endpoint endpoint) : endpoint_(std::move(endpoint)) {}
+
+  /// Fire-and-forget send; stamps and returns the sequence number.
+  std::uint32_t send(Message message);
+
+  /// Out-of-band send: the message keeps its sequence (0 = unsolicited
+  /// stream frame, e.g. PROGRESS), so it can never be mistaken for a
+  /// request's reply.
+  void send_oob(const Message& message);
+
+  /// Non-blocking receive of the next inbound message.
+  std::optional<Message> poll();
+
+  /// Blocking receive with timeout.
+  std::optional<Message> recv(Seconds timeout);
+
+  /// Send a request and wait for the message that echoes its sequence
+  /// number. Other messages arriving meanwhile are queued for poll().
+  std::optional<Message> request(Message message, Seconds timeout);
+
+  /// Reply to `request` with `reply` (copies the sequence number over).
+  void reply(const Message& request, Message reply);
+
+  void close() { endpoint_.close(); }
+
+ private:
+  Endpoint endpoint_;
+  std::uint32_t next_sequence_ = 1;
+  std::vector<Message> stash_;  ///< out-of-band messages seen during request()
+};
+
+}  // namespace tracer::net

@@ -1,0 +1,128 @@
+#include "net/message.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace tracer::net {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kAck: return "ACK";
+    case MessageType::kError: return "ERROR";
+    case MessageType::kConfigureTest: return "CONFIGURE_TEST";
+    case MessageType::kStartTest: return "START_TEST";
+    case MessageType::kStopTest: return "STOP_TEST";
+    case MessageType::kPerfResult: return "PERF_RESULT";
+    case MessageType::kProgress: return "PROGRESS";
+    case MessageType::kPowerInit: return "POWER_INIT";
+    case MessageType::kPowerStart: return "POWER_START";
+    case MessageType::kPowerStop: return "POWER_STOP";
+    case MessageType::kPowerResult: return "POWER_RESULT";
+  }
+  return "UNKNOWN";
+}
+
+void Message::set(const std::string& key, const std::string& value) {
+  fields[key] = value;
+}
+
+void Message::set_double(const std::string& key, double value) {
+  fields[key] = util::format("%.9g", value);
+}
+
+void Message::set_u64(const std::string& key, std::uint64_t value) {
+  fields[key] = std::to_string(value);
+}
+
+std::optional<std::string> Message::get(const std::string& key) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> Message::get_double(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  double out = 0.0;
+  if (!util::parse_double(*v, out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::uint64_t> Message::get_u64(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  std::uint64_t out = 0;
+  if (!util::parse_u64(*v, out)) return std::nullopt;
+  return out;
+}
+
+std::vector<std::uint8_t> Message::serialize() const {
+  std::ostringstream buffer;
+  util::BinaryWriter writer(buffer);
+  writer.u16(static_cast<std::uint16_t>(type));
+  writer.u32(sequence);
+  writer.u32(static_cast<std::uint32_t>(fields.size()));
+  for (const auto& [key, value] : fields) {
+    writer.str(key);
+    writer.str(value);
+  }
+  const std::string data = buffer.str();
+  return {data.begin(), data.end()};
+}
+
+Message Message::deserialize(const std::vector<std::uint8_t>& frame) {
+  std::istringstream buffer(
+      std::string(frame.begin(), frame.end()));
+  util::BinaryReader reader(buffer);
+  Message message;
+  const std::uint16_t raw_type = reader.u16();
+  switch (static_cast<MessageType>(raw_type)) {
+    case MessageType::kAck:
+    case MessageType::kError:
+    case MessageType::kConfigureTest:
+    case MessageType::kStartTest:
+    case MessageType::kStopTest:
+    case MessageType::kPerfResult:
+    case MessageType::kProgress:
+    case MessageType::kPowerInit:
+    case MessageType::kPowerStart:
+    case MessageType::kPowerStop:
+    case MessageType::kPowerResult:
+      message.type = static_cast<MessageType>(raw_type);
+      break;
+    default:
+      throw std::runtime_error("Message: unknown type " +
+                               std::to_string(raw_type));
+  }
+  message.sequence = reader.u32();
+  const std::uint32_t count = reader.u32();
+  if (count > 4096) {
+    throw std::runtime_error("Message: implausible field count");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key = reader.str(1 << 16);
+    std::string value = reader.str(1 << 16);
+    message.fields.emplace(std::move(key), std::move(value));
+  }
+  return message;
+}
+
+Message make_ack(std::uint32_t sequence) {
+  Message message;
+  message.type = MessageType::kAck;
+  message.sequence = sequence;
+  return message;
+}
+
+Message make_error(std::uint32_t sequence, const std::string& reason) {
+  Message message;
+  message.type = MessageType::kError;
+  message.sequence = sequence;
+  message.set("reason", reason);
+  return message;
+}
+
+}  // namespace tracer::net

@@ -1,0 +1,62 @@
+// Wire protocol between the evaluation host, the workload generator, and
+// the power analyzer (§III-A1: communicator / messenger / parser modules).
+//
+// A message is a typed command or report with a string key-value payload,
+// serialised to a length-prefixed little-endian frame. The testbed ran
+// these over TCP between three machines (Fig 1); in-process the same frames
+// flow over net::Channel, so the control plane is exercised byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tracer::net {
+
+enum class MessageType : std::uint16_t {
+  kAck = 0,
+  kError = 1,
+  // Evaluation host -> workload generator
+  kConfigureTest = 10,  ///< workload mode + load proportion
+  kStartTest = 11,
+  kStopTest = 12,
+  // Workload generator -> evaluation host
+  kPerfResult = 20,  ///< IOPS / MBPS / response time
+  kProgress = 21,    ///< per-cycle progress during a run
+  // Evaluation host -> power analyzer (via messenger)
+  kPowerInit = 30,
+  kPowerStart = 31,
+  kPowerStop = 32,
+  // Power analyzer -> evaluation host
+  kPowerResult = 40,  ///< current / voltage / watts
+};
+
+const char* to_string(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kAck;
+  std::uint32_t sequence = 0;  ///< request/reply correlation
+  std::map<std::string, std::string> fields;
+
+  /// Typed field helpers; get_* return nullopt when absent or malformed.
+  void set(const std::string& key, const std::string& value);
+  void set_double(const std::string& key, double value);
+  void set_u64(const std::string& key, std::uint64_t value);
+  std::optional<std::string> get(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<std::uint64_t> get_u64(const std::string& key) const;
+
+  std::vector<std::uint8_t> serialize() const;
+  /// Throws std::runtime_error on malformed frames.
+  static Message deserialize(const std::vector<std::uint8_t>& frame);
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Convenience constructors for the common replies.
+Message make_ack(std::uint32_t sequence);
+Message make_error(std::uint32_t sequence, const std::string& reason);
+
+}  // namespace tracer::net

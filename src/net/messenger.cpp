@@ -1,0 +1,63 @@
+#include "net/messenger.h"
+
+namespace tracer::net {
+
+Message Messenger::handle(const Message& command, Seconds now) {
+  switch (command.type) {
+    case MessageType::kPowerInit:
+      initialized_ = true;
+      analyzer_.reset();
+      return make_ack(command.sequence);
+
+    case MessageType::kPowerStart:
+      if (!initialized_) {
+        return make_error(command.sequence, "power analyzer not initialized");
+      }
+      analyzer_.start(now);
+      return make_ack(command.sequence);
+
+    case MessageType::kPowerStop: {
+      if (!initialized_) {
+        return make_error(command.sequence, "power analyzer not initialized");
+      }
+      Message result = power_result(command.sequence);
+      return result;
+    }
+
+    default:
+      return make_error(command.sequence,
+                        std::string("messenger cannot handle ") +
+                            to_string(command.type));
+  }
+}
+
+Message Messenger::power_result(std::uint32_t sequence) const {
+  Message result;
+  result.type = MessageType::kPowerResult;
+  result.sequence = sequence;
+  result.set_u64("channels", analyzer_.channel_count());
+  for (std::size_t ch = 0; ch < analyzer_.channel_count(); ++ch) {
+    const auto& report = analyzer_.report(ch);
+    const std::string prefix = "ch" + std::to_string(ch) + ".";
+    result.set(prefix + "name", report.name);
+    result.set_double(prefix + "watts", report.mean_watts());
+    result.set_double(prefix + "joules",
+                      report.measured_joules(analyzer_.cycle()));
+    double volts = 0.0;
+    double amps = 0.0;
+    if (!report.samples.empty()) {
+      for (const auto& s : report.samples) {
+        volts += s.volts;
+        amps += s.amps;
+      }
+      volts /= static_cast<double>(report.samples.size());
+      amps /= static_cast<double>(report.samples.size());
+    }
+    result.set_double(prefix + "volts", volts);
+    result.set_double(prefix + "amps", amps);
+    result.set_u64(prefix + "samples", report.samples.size());
+  }
+  return result;
+}
+
+}  // namespace tracer::net

@@ -1,0 +1,30 @@
+// Messenger module (§III-A1): the adapter between the evaluation host's
+// control plane and a concrete power analyzer device. "TRACER is able to
+// support various types of power analyzer devices with some modification on
+// the messenger module" — the modification point is this one class.
+//
+// Serves POWER_INIT / POWER_START / POWER_STOP commands against a
+// power::PowerAnalyzer and reports POWER_RESULT (current/voltage/watts).
+#pragma once
+
+#include "net/message.h"
+#include "power/power_analyzer.h"
+
+namespace tracer::net {
+
+class Messenger {
+ public:
+  explicit Messenger(power::PowerAnalyzer& analyzer) : analyzer_(analyzer) {}
+
+  /// Handle one command; returns the reply (ACK, POWER_RESULT, or ERROR).
+  /// `now` is the current test clock, needed by start/stop.
+  Message handle(const Message& command, Seconds now);
+
+ private:
+  Message power_result(std::uint32_t sequence) const;
+
+  power::PowerAnalyzer& analyzer_;
+  bool initialized_ = false;
+};
+
+}  // namespace tracer::net

@@ -1,0 +1,62 @@
+#include "net/parser.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace tracer::net {
+
+namespace {
+
+MessageType type_from_name(const std::string& name) {
+  static const std::pair<const char*, MessageType> kNames[] = {
+      {"ACK", MessageType::kAck},
+      {"ERROR", MessageType::kError},
+      {"CONFIGURE_TEST", MessageType::kConfigureTest},
+      {"START_TEST", MessageType::kStartTest},
+      {"STOP_TEST", MessageType::kStopTest},
+      {"PERF_RESULT", MessageType::kPerfResult},
+      {"PROGRESS", MessageType::kProgress},
+      {"POWER_INIT", MessageType::kPowerInit},
+      {"POWER_START", MessageType::kPowerStart},
+      {"POWER_STOP", MessageType::kPowerStop},
+      {"POWER_RESULT", MessageType::kPowerResult},
+  };
+  for (const auto& [text, type] : kNames) {
+    if (name == text) return type;
+  }
+  throw std::runtime_error("Parser: unknown command '" + name + "'");
+}
+
+}  // namespace
+
+Message Parser::parse_command(const std::string& line) {
+  const auto tokens = util::split_whitespace(line);
+  if (tokens.empty()) {
+    throw std::runtime_error("Parser: empty command line");
+  }
+  Message message;
+  message.type = type_from_name(tokens.front());
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("Parser: malformed field '" + tokens[i] +
+                               "' (expected key=value)");
+    }
+    message.fields[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return message;
+}
+
+std::string Parser::format_message(const Message& message) {
+  std::string out = to_string(message.type);
+  for (const auto& [key, value] : message.fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace tracer::net

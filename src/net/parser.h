@@ -1,0 +1,26 @@
+// Parser module (§III-A1): "a middle layer sitting between GUI and the
+// messenger module" translating the GUI's textual command protocol into
+// wire Messages and back, keeping the two protocols consistent.
+//
+// GUI line protocol:  COMMAND key=value key=value ...
+// e.g.                CONFIGURE_TEST rs=4K rnd=50 rd=0 load=30
+#pragma once
+
+#include <string>
+
+#include "net/message.h"
+
+namespace tracer::net {
+
+class Parser {
+ public:
+  /// GUI text line -> Message. Throws std::runtime_error on junk commands
+  /// or malformed key=value pairs (the GUI must hear about typos).
+  static Message parse_command(const std::string& line);
+
+  /// Message -> GUI text line (inverse of parse_command; field order is
+  /// alphabetical so round-trips are canonical).
+  static std::string format_message(const Message& message);
+};
+
+}  // namespace tracer::net

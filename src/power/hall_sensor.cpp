@@ -1,0 +1,35 @@
+#include "power/hall_sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tracer::power {
+
+HallSensor::HallSensor(const HallSensorParams& params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  gain_ = 1.0 + rng_.normal(0.0, params_.gain_sigma);
+  offset_ = rng_.normal(0.0, params_.offset_watts);
+}
+
+PowerSample HallSensor::measure(Seconds t, Watts true_avg_power) {
+  PowerSample sample;
+  sample.time = t;
+  sample.true_watts = true_avg_power;
+
+  const double volts =
+      params_.line_voltage *
+      (1.0 + rng_.normal(0.0, params_.voltage_ripple));
+  double watts = true_avg_power * gain_ + offset_;
+  watts *= 1.0 + rng_.normal(0.0, params_.noise_relative);
+  if (params_.quantum_watts > 0.0) {
+    watts = std::round(watts / params_.quantum_watts) * params_.quantum_watts;
+  }
+  watts = std::max(watts, 0.0);
+
+  sample.volts = volts;
+  sample.watts = watts;
+  sample.amps = volts > 0.0 ? watts / volts : 0.0;
+  return sample;
+}
+
+}  // namespace tracer::power

@@ -1,0 +1,51 @@
+// Hall-effect current loop + voltage probe model (the paper's Kingsin KS706
+// clamps a magnetic loop around the 220 V AC feed of the array, §V-A).
+//
+// The sensor converts a true average power into a measured (volts, amps,
+// watts) triple with calibration bias, per-sample noise, and ADC
+// quantisation, so accuracy results are measured through a realistic
+// instrument rather than read off the simulator directly.
+#pragma once
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tracer::power {
+
+/// One meter reading at the end of a sampling cycle.
+struct PowerSample {
+  Seconds time = 0.0;   ///< cycle end time
+  double volts = 0.0;   ///< measured RMS line voltage
+  double amps = 0.0;    ///< measured RMS current
+  Watts watts = 0.0;    ///< measured average power over the cycle
+  Watts true_watts = 0.0;  ///< ground truth (kept for error analysis)
+};
+
+struct HallSensorParams {
+  double line_voltage = 220.0;   ///< nominal RMS supply (220 V AC testbed)
+  double voltage_ripple = 0.002; ///< relative sigma of line voltage
+  double gain_sigma = 0.001;     ///< calibration gain error sigma (fixed/run)
+  double offset_watts = 0.05;    ///< additive offset sigma (fixed per run)
+  double noise_relative = 0.004; ///< per-sample multiplicative noise sigma
+  double quantum_watts = 0.01;   ///< ADC power quantisation step
+};
+
+class HallSensor {
+ public:
+  /// Calibration biases are drawn once from `rng` at construction, matching
+  /// how a physical meter is miscalibrated once, not per sample.
+  HallSensor(const HallSensorParams& params, util::Rng rng);
+
+  /// Convert a true average power over one cycle into a meter reading.
+  PowerSample measure(Seconds t, Watts true_avg_power);
+
+  const HallSensorParams& params() const { return params_; }
+
+ private:
+  HallSensorParams params_;
+  util::Rng rng_;
+  double gain_ = 1.0;
+  double offset_ = 0.0;
+};
+
+}  // namespace tracer::power

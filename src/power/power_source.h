@@ -1,0 +1,24 @@
+// Anything the power analyzer can clamp its Hall-effect loop around.
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace tracer::power {
+
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+
+  /// Channel label shown in reports (e.g. "raid5-hdd6").
+  virtual std::string name() const = 0;
+
+  /// Instantaneous true draw at time t (t >= last energy_until call).
+  virtual Watts power_at(Seconds t) const = 0;
+
+  /// True cumulative energy consumed over [0, t]; monotone t required.
+  virtual Joules energy_until(Seconds t) = 0;
+};
+
+}  // namespace tracer::power

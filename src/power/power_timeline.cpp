@@ -1,0 +1,61 @@
+#include "power/power_timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracer::power {
+
+void PowerTimeline::insert(Seconds t, Watts delta) {
+  if (t < cursor_) {
+    // The meter already integrated past this instant; attributing energy
+    // retroactively would corrupt the ledger. Clamp to the cursor — the
+    // energy lands in the current cycle instead, preserving totals.
+    t = cursor_;
+  }
+  auto it = std::upper_bound(
+      pending_.begin(), pending_.end(), t,
+      [](Seconds value, const Breakpoint& bp) { return value < bp.time; });
+  pending_.insert(it, Breakpoint{t, delta});
+}
+
+void PowerTimeline::set_base(Seconds t, Watts base) {
+  insert(t, base - scheduled_base_);
+  scheduled_base_ = base;
+}
+
+Watts PowerTimeline::power_at(Seconds t) const {
+  Watts level = level_;
+  for (const auto& bp : pending_) {
+    if (bp.time > t) break;
+    level += bp.delta;
+  }
+  return base_ + level;
+}
+
+Joules PowerTimeline::energy_until(Seconds t) {
+  if (t < cursor_) {
+    throw std::logic_error("PowerTimeline: energy_until must be monotone");
+  }
+  std::size_t consumed = 0;
+  Seconds at = cursor_;
+  for (const auto& bp : pending_) {
+    if (bp.time > t) break;
+    energy_ += (base_ + level_) * (bp.time - at);
+    at = bp.time;
+    level_ += bp.delta;
+    ++consumed;
+  }
+  energy_ += (base_ + level_) * (t - at);
+  cursor_ = t;
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  return energy_;
+}
+
+void PowerTimeline::add_pulse(Seconds t0, Seconds t1, Watts extra) {
+  if (!(t1 > t0) || extra == 0.0) return;
+  insert(t0, extra);
+  insert(t1, -extra);
+}
+
+}  // namespace tracer::power

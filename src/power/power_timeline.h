@@ -1,0 +1,58 @@
+// Piecewise-constant power profile of one component.
+//
+// Devices declare their draw as a base level plus additive pulses (seek
+// bursts, transfer windows). Energy is integrated analytically, so the
+// meter's sampled average power per cycle is exact regardless of how short
+// the pulses are — a physical meter integrates in hardware the same way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tracer::power {
+
+class PowerTimeline {
+ public:
+  explicit PowerTimeline(Watts base = 0.0)
+      : base_(base), scheduled_base_(base) {}
+
+  Watts base() const { return base_; }
+
+  /// Change the standing draw from time t onward (e.g. spin-down).
+  void set_base(Seconds t, Watts base);
+
+  /// Add `extra` watts over [t0, t1). Pulses may overlap and may be added
+  /// out of order, but never before a point already integrated past.
+  void add_pulse(Seconds t0, Seconds t1, Watts extra);
+
+  /// Instantaneous draw at time t (t must be >= the integration cursor).
+  Watts power_at(Seconds t) const;
+
+  /// Energy consumed in [0, t]; advances the integration cursor to t.
+  /// Calls must use non-decreasing t (the meter samples monotonically).
+  Joules energy_until(Seconds t);
+
+  /// Average power over [t0, t1] given two cursor reads (helper).
+  Seconds cursor() const { return cursor_; }
+
+ private:
+  struct Breakpoint {
+    Seconds time;
+    Watts delta;
+  };
+
+  // Breakpoints not yet integrated, kept sorted by time. Insertions are
+  // near-sorted (service timelines advance), so we insert from the back.
+  void insert(Seconds t, Watts delta);
+
+  Watts base_;
+  Watts scheduled_base_;  // target of the latest set_base (may be pending)
+  Watts level_ = 0.0;     // sum of deltas already integrated past cursor_
+  Seconds cursor_ = 0.0;
+  Joules energy_ = 0.0;
+  std::vector<Breakpoint> pending_;
+};
+
+}  // namespace tracer::power

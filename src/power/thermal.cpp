@@ -1,0 +1,88 @@
+#include "power/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tracer::power {
+
+ThermalNode::ThermalNode(const ThermalParams& params)
+    : params_(params), temperature_(params.ambient_c) {
+  if (!(params_.resistance_c_per_w > 0.0) ||
+      !(params_.capacitance_j_per_c > 0.0) ||
+      !(params_.afr_doubling_c > 0.0)) {
+    throw std::invalid_argument("ThermalNode: R, C, doubling must be > 0");
+  }
+}
+
+double ThermalNode::equilibrium_c(Watts watts) const {
+  return params_.ambient_c + watts * params_.resistance_c_per_w;
+}
+
+void ThermalNode::step(Seconds dt, Watts watts) {
+  if (!(dt > 0.0)) return;
+  const double target = equilibrium_c(watts);
+  const double tau =
+      params_.resistance_c_per_w * params_.capacitance_j_per_c;
+  temperature_ = target + (temperature_ - target) * std::exp(-dt / tau);
+}
+
+double ThermalNode::reliability_derating() const {
+  return std::pow(2.0, (temperature_ - params_.nominal_c) /
+                           params_.afr_doubling_c);
+}
+
+ThermalMonitor::ThermalMonitor(PowerSource& source,
+                               const ThermalParams& params, Seconds cycle)
+    : source_(source), node_(params), cycle_(cycle) {
+  if (!(cycle > 0.0)) {
+    throw std::invalid_argument("ThermalMonitor: cycle must be > 0");
+  }
+}
+
+void ThermalMonitor::start(Seconds t) {
+  running_ = true;
+  last_sample_ = t;
+  last_energy_ = source_.energy_until(t);
+  samples_.clear();
+}
+
+void ThermalMonitor::sample_at(Seconds t) {
+  if (!running_) {
+    throw std::logic_error("ThermalMonitor: sample_at before start");
+  }
+  const Seconds dt = t - last_sample_;
+  if (!(dt > 0.0)) return;
+  const Joules energy = source_.energy_until(t);
+  const Watts avg = (energy - last_energy_) / dt;
+  node_.step(dt, avg);
+  samples_.push_back(ThermalSample{t, node_.temperature_c(), avg});
+  last_sample_ = t;
+  last_energy_ = energy;
+}
+
+void ThermalMonitor::schedule_sampling(sim::Simulator& sim, Seconds t_start,
+                                       Seconds t_end) {
+  sim.schedule_at(t_start, [this, t_start] { start(t_start); });
+  const auto cycles =
+      static_cast<std::uint64_t>(std::floor((t_end - t_start) / cycle_));
+  for (std::uint64_t i = 1; i <= cycles; ++i) {
+    const Seconds t = t_start + static_cast<double>(i) * cycle_;
+    sim.schedule_at(t, [this, t] { sample_at(t); });
+  }
+}
+
+double ThermalMonitor::max_c() const {
+  double best = node_.params().ambient_c;
+  for (const auto& sample : samples_) best = std::max(best, sample.celsius);
+  return best;
+}
+
+double ThermalMonitor::mean_c() const {
+  if (samples_.empty()) return node_.params().ambient_c;
+  double sum = 0.0;
+  for (const auto& sample : samples_) sum += sample.celsius;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace tracer::power

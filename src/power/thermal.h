@@ -1,0 +1,94 @@
+// Thermal modelling — the metric the paper's conclusions promise to add:
+// "We intend to bring in temperature as new metric of TRACER evaluation
+// framework, as temperature has obvious influences on energy, performance
+// and reliability of storage systems."
+//
+// Each monitored component is a first-order RC thermal node: dissipated
+// power heats a lumped mass through a thermal resistance to ambient,
+//     T(t+dt) = T_amb + P*R + (T(t) - T_amb - P*R) * exp(-dt / (R*C)).
+// The monitor samples a PowerSource's cycle-average power (the same exact
+// energy integral the power analyzer uses) and advances the node, so the
+// temperature series is consistent with the power series by construction.
+//
+// Reliability derating uses the classic rule of thumb of the disk-failure
+// literature: annualised failure rate roughly doubles per +15 C above the
+// nominal operating point.
+#pragma once
+
+#include <vector>
+
+#include "power/power_source.h"
+#include "sim/simulator.h"
+
+namespace tracer::power {
+
+struct ThermalParams {
+  double ambient_c = 25.0;          ///< machine-room ambient
+  double resistance_c_per_w = 0.6;  ///< thermal resistance to ambient
+  double capacitance_j_per_c = 400.0;  ///< lumped thermal mass
+  double nominal_c = 40.0;          ///< AFR reference temperature
+  double afr_doubling_c = 15.0;     ///< +this many C doubles failure rate
+};
+
+/// One first-order thermal node.
+class ThermalNode {
+ public:
+  explicit ThermalNode(const ThermalParams& params);
+
+  /// Advance the node by `dt` seconds at constant dissipation `watts`.
+  void step(Seconds dt, Watts watts);
+
+  double temperature_c() const { return temperature_; }
+
+  /// Steady-state temperature at constant dissipation.
+  double equilibrium_c(Watts watts) const;
+
+  /// Relative failure-rate multiplier vs the nominal temperature.
+  double reliability_derating() const;
+
+  const ThermalParams& params() const { return params_; }
+
+ private:
+  ThermalParams params_;
+  double temperature_;
+};
+
+struct ThermalSample {
+  Seconds time = 0.0;
+  double celsius = 0.0;
+  Watts watts = 0.0;  ///< cycle-average power driving this step
+};
+
+/// Samples a PowerSource at a fixed cycle and integrates its thermal node —
+/// the temperature channel of the analyzer.
+class ThermalMonitor {
+ public:
+  ThermalMonitor(PowerSource& source, const ThermalParams& params,
+                 Seconds cycle = 1.0);
+
+  /// Begin monitoring at absolute time t.
+  void start(Seconds t);
+
+  /// Advance through the cycle ending at time t (monotone).
+  void sample_at(Seconds t);
+
+  /// Convenience: schedule per-cycle sampling events on `sim`.
+  void schedule_sampling(sim::Simulator& sim, Seconds t_start, Seconds t_end);
+
+  const std::vector<ThermalSample>& samples() const { return samples_; }
+  double current_c() const { return node_.temperature_c(); }
+  double max_c() const;
+  double mean_c() const;
+  double reliability_derating() const { return node_.reliability_derating(); }
+
+ private:
+  PowerSource& source_;
+  ThermalNode node_;
+  Seconds cycle_;
+  Seconds last_sample_ = 0.0;
+  Joules last_energy_ = 0.0;
+  bool running_ = false;
+  std::vector<ThermalSample> samples_;
+};
+
+}  // namespace tracer::power

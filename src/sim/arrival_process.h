@@ -1,0 +1,73 @@
+// Stochastic inter-arrival processes for synthetic workload generation.
+//
+// The paper's related-work baselines (DRPM) drive arrays with Pareto and
+// exponential arrivals; the IOmeter-style generator uses closed-loop
+// saturation instead, but open-loop processes are needed for the web-server
+// and cello synthesisers.
+#pragma once
+
+#include <memory>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tracer::sim {
+
+/// Produces successive inter-arrival gaps (seconds).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual Seconds next_gap(util::Rng& rng) = 0;
+};
+
+/// Fixed-rate arrivals (gap = 1/rate).
+class ConstantArrivals final : public ArrivalProcess {
+ public:
+  explicit ConstantArrivals(double rate_per_sec);
+  Seconds next_gap(util::Rng& rng) override;
+
+ private:
+  Seconds gap_;
+};
+
+/// Poisson arrivals with the given mean rate.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_sec);
+  Seconds next_gap(util::Rng& rng) override;
+
+ private:
+  Seconds mean_gap_;
+};
+
+/// Heavy-tailed Pareto gaps with shape alpha (> 1 for finite mean) scaled to
+/// the requested mean rate. Produces the bursty crests/troughs the paper
+/// warns random filtering would distort.
+class ParetoArrivals final : public ArrivalProcess {
+ public:
+  ParetoArrivals(double rate_per_sec, double alpha);
+  Seconds next_gap(util::Rng& rng) override;
+
+ private:
+  double alpha_;
+  double xm_;  // minimum gap chosen so that E[gap] = 1/rate
+};
+
+/// Poisson arrivals whose rate is modulated by a periodic diurnal profile —
+/// used by the web-server trace synthesiser (a week of traffic with
+/// day/night swings, Fig 12's visible workload shape).
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  /// base_rate: mean rate; swing in [0,1): amplitude of the daily sine;
+  /// period: seconds per day (configurable so tests can compress time).
+  DiurnalArrivals(double base_rate, double swing, Seconds period);
+  Seconds next_gap(util::Rng& rng) override;
+
+ private:
+  double base_rate_;
+  double swing_;
+  Seconds period_;
+  Seconds clock_ = 0.0;
+};
+
+}  // namespace tracer::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace tracer::sim {
+
+void Simulator::schedule_at(Seconds at, Action action) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(Seconds delay, Action action) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the action through a pop-after-read.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++dispatched_;
+  event.action();
+  return true;
+}
+
+Seconds Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Seconds Simulator::run_until(Seconds t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+  }
+  now_ = std::max(now_, t_end);
+  return now_;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace tracer::sim

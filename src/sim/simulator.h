@@ -1,0 +1,73 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded per instance: parameter sweeps run many independent
+// Simulators in parallel via util::ThreadPool rather than sharing one
+// (see DESIGN.md §6). Events at equal timestamps fire in scheduling order
+// (FIFO tie-break via a monotone sequence number) so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tracer::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in seconds.
+  Seconds now() const { return now_; }
+
+  /// Schedule `action` at absolute time `at` (clamped to now()).
+  void schedule_at(Seconds at, Action action);
+
+  /// Schedule `action` `delay` seconds from now (negative clamps to 0).
+  void schedule_in(Seconds delay, Action action);
+
+  /// Number of events not yet fired.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Run until the event queue drains. Returns the final clock value.
+  Seconds run();
+
+  /// Fire every event with time <= t_end, then advance the clock to t_end
+  /// (events scheduled beyond t_end stay queued). Returns the new clock.
+  Seconds run_until(Seconds t_end);
+
+  /// Fire at most one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Drop all pending events (used between test phases).
+  void clear();
+
+  /// Total events dispatched over the simulator's lifetime.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tracer::sim

@@ -1,0 +1,36 @@
+// Abstract block device: the target of replayed I/O and a power source the
+// analyzer can meter. Member disks of an array and the array itself both
+// implement this, so TRACER can test "hard drives, solid state disks, disk
+// arrays" uniformly (§III-A3).
+#pragma once
+
+#include <cstddef>
+
+#include "power/power_source.h"
+#include "sim/simulator.h"
+#include "storage/io_request.h"
+
+namespace tracer::storage {
+
+class BlockDevice : public power::PowerSource {
+ public:
+  explicit BlockDevice(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Usable capacity in bytes.
+  virtual Bytes capacity() const = 0;
+
+  /// Queue an I/O. The completion callback fires from a simulator event at
+  /// the request's finish time. Requests may complete out of submission
+  /// order (SSD channel parallelism, RAID fan-out).
+  virtual void submit(const IoRequest& request, CompletionCallback done) = 0;
+
+  /// Requests accepted but not yet completed (queued + in service).
+  virtual std::size_t outstanding() const = 0;
+
+  sim::Simulator& simulator() { return sim_; }
+
+ protected:
+  sim::Simulator& sim_;
+};
+
+}  // namespace tracer::storage

@@ -1,0 +1,186 @@
+#include "storage/diskspec.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace tracer::storage {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("diskspec: line " + std::to_string(line) + ": " +
+                           what);
+}
+
+using Setter = std::function<void(HddParams&, double)>;
+
+const std::map<std::string, Setter>& key_table() {
+  static const std::map<std::string, Setter> kTable = {
+      {"capacity_gb",
+       [](HddParams& p, double v) {
+         p.capacity = static_cast<Bytes>(v * 1e9);
+       }},
+      {"rpm", [](HddParams& p, double v) { p.rpm = v; }},
+      {"cylinders",
+       [](HddParams& p, double v) {
+         p.cylinders = static_cast<std::uint64_t>(v);
+       }},
+      {"track_to_track_ms",
+       [](HddParams& p, double v) { p.track_to_track_seek = v * 1e-3; }},
+      {"full_stroke_ms",
+       [](HddParams& p, double v) { p.full_stroke_seek = v * 1e-3; }},
+      {"settle_ms", [](HddParams& p, double v) { p.settle_time = v * 1e-3; }},
+      {"command_overhead_ms",
+       [](HddParams& p, double v) { p.command_overhead = v * 1e-3; }},
+      {"outer_rate_mbps",
+       [](HddParams& p, double v) { p.outer_rate_mbps = v; }},
+      {"inner_rate_mbps",
+       [](HddParams& p, double v) { p.inner_rate_mbps = v; }},
+      {"idle_watts", [](HddParams& p, double v) { p.idle_watts = v; }},
+      {"seek_watts", [](HddParams& p, double v) { p.seek_extra_watts = v; }},
+      {"transfer_watts",
+       [](HddParams& p, double v) { p.transfer_extra_watts = v; }},
+      {"write_watts",
+       [](HddParams& p, double v) { p.write_extra_watts = v; }},
+      {"standby_watts",
+       [](HddParams& p, double v) { p.standby_watts = v; }},
+      {"spin_up_s", [](HddParams& p, double v) { p.spin_up_time = v; }},
+      {"spin_up_watts",
+       [](HddParams& p, double v) { p.spin_up_extra_watts = v; }},
+  };
+  return kTable;
+}
+
+void validate(const std::string& name, const HddParams& params,
+              std::size_t line) {
+  if (params.capacity == 0) fail(line, name + ": capacity must be > 0");
+  if (!(params.rpm > 0.0)) fail(line, name + ": rpm must be > 0");
+  if (params.cylinders == 0) fail(line, name + ": cylinders must be > 0");
+  if (!(params.outer_rate_mbps > 0.0) || !(params.inner_rate_mbps > 0.0)) {
+    fail(line, name + ": media rates must be > 0");
+  }
+  if (params.full_stroke_seek < params.track_to_track_seek) {
+    fail(line, name + ": full stroke seek below track-to-track");
+  }
+  if (params.idle_watts < 0.0 || params.standby_watts < 0.0) {
+    fail(line, name + ": negative power");
+  }
+}
+
+}  // namespace
+
+std::map<std::string, HddParams> parse_diskspecs(std::string_view text) {
+  std::map<std::string, HddParams> specs;
+  const auto lines = util::split(text, '\n');
+
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool in_block = false;
+  std::string current_name;
+  std::size_t block_start_line = 0;
+  HddParams current;
+
+  for (const auto& raw : lines) {
+    ++line_no;
+    std::string_view line = util::trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = util::trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    if (!saw_header) {
+      if (line != "tracer_diskspecs v1") {
+        fail(line_no, "expected header 'tracer_diskspecs v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (!in_block) {
+      const auto tokens = util::split_whitespace(line);
+      if (tokens.size() != 3 || tokens[0] != "disk" || tokens[2] != "{") {
+        fail(line_no, "expected 'disk <name> {'");
+      }
+      if (specs.count(tokens[1]) != 0) {
+        fail(line_no, "duplicate disk '" + tokens[1] + "'");
+      }
+      in_block = true;
+      current_name = tokens[1];
+      block_start_line = line_no;
+      current = HddParams{};
+      current.name = current_name;
+      continue;
+    }
+
+    if (line == "}") {
+      validate(current_name, current, block_start_line);
+      specs.emplace(current_name, current);
+      in_block = false;
+      continue;
+    }
+
+    const auto tokens = util::split_whitespace(line);
+    if (tokens.size() != 2) {
+      fail(line_no, "expected '<key> <value>'");
+    }
+    const auto it = key_table().find(tokens[0]);
+    if (it == key_table().end()) {
+      fail(line_no, "unknown key '" + tokens[0] + "'");
+    }
+    double value = 0.0;
+    if (!util::parse_double(tokens[1], value)) {
+      fail(line_no, "bad value '" + tokens[1] + "'");
+    }
+    it->second(current, value);
+  }
+
+  if (in_block) fail(line_no, "unterminated disk block");
+  if (!saw_header) fail(line_no, "empty spec (missing header)");
+  if (specs.empty()) fail(line_no, "empty spec: no disk blocks");
+  return specs;
+}
+
+std::map<std::string, HddParams> load_diskspecs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("diskspec: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_diskspecs(buffer.str());
+}
+
+std::string format_diskspec(const std::string& name,
+                            const HddParams& params) {
+  std::string out = "tracer_diskspecs v1\n\ndisk " + name + " {\n";
+  out += util::format("  capacity_gb        %.3f\n",
+                      static_cast<double>(params.capacity) / 1e9);
+  out += util::format("  rpm                %.0f\n", params.rpm);
+  out += util::format("  cylinders          %llu\n",
+                      static_cast<unsigned long long>(params.cylinders));
+  out += util::format("  track_to_track_ms  %.3f\n",
+                      params.track_to_track_seek * 1e3);
+  out += util::format("  full_stroke_ms     %.3f\n",
+                      params.full_stroke_seek * 1e3);
+  out += util::format("  settle_ms          %.3f\n", params.settle_time * 1e3);
+  out += util::format("  command_overhead_ms %.3f\n",
+                      params.command_overhead * 1e3);
+  out += util::format("  outer_rate_mbps    %.1f\n", params.outer_rate_mbps);
+  out += util::format("  inner_rate_mbps    %.1f\n", params.inner_rate_mbps);
+  out += util::format("  idle_watts         %.2f\n", params.idle_watts);
+  out += util::format("  seek_watts         %.2f\n", params.seek_extra_watts);
+  out += util::format("  transfer_watts     %.2f\n",
+                      params.transfer_extra_watts);
+  out += util::format("  write_watts        %.2f\n",
+                      params.write_extra_watts);
+  out += util::format("  standby_watts      %.2f\n", params.standby_watts);
+  out += util::format("  spin_up_s          %.2f\n", params.spin_up_time);
+  out += util::format("  spin_up_watts      %.2f\n",
+                      params.spin_up_extra_watts);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tracer::storage

@@ -1,0 +1,52 @@
+// DiskSim-style disk specification import — the integration path the
+// paper's conclusions name ("we intend to seamlessly integrate TRACER with
+// Disksim"). Instead of embedding DiskSim, TRACER reads DiskSim-flavoured
+// parameter blocks and instantiates its own calibrated HddModel from them,
+// so drive libraries maintained for DiskSim-style tooling can drive TRACER
+// testbeds directly.
+//
+// Format (a pragmatic subset of DiskSim's diskspecs):
+//
+//   tracer_diskspecs v1
+//   disk seagate-7200.12 {
+//     capacity_gb        500      # decimal GB, like drive SKUs
+//     rpm                7200
+//     cylinders          100000
+//     track_to_track_ms  1.0
+//     full_stroke_ms     15.0
+//     settle_ms          0.4
+//     command_overhead_ms 0.10
+//     outer_rate_mbps    125
+//     inner_rate_mbps    60
+//     idle_watts         8.0
+//     seek_watts         4.5
+//     transfer_watts     2.2
+//     write_watts        0.6
+//     standby_watts      1.2
+//     spin_up_s          6.0
+//     spin_up_watts      16.0
+//   }
+//
+// '#' comments, blank lines, and multiple disk blocks are allowed. Unknown
+// keys are errors (a typo'd power figure must not silently default).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "storage/hdd_model.h"
+
+namespace tracer::storage {
+
+/// Parse spec text; throws std::runtime_error with a line number on
+/// malformed input or unknown keys.
+std::map<std::string, HddParams> parse_diskspecs(std::string_view text);
+
+/// Load and parse a spec file.
+std::map<std::string, HddParams> load_diskspecs(const std::string& path);
+
+/// Render params back into spec text (round-trip support, fleet dumps).
+std::string format_diskspec(const std::string& name, const HddParams& params);
+
+}  // namespace tracer::storage

@@ -1,0 +1,172 @@
+#include "storage/hdd_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tracer::storage {
+
+HddModel::HddModel(sim::Simulator& sim, const HddParams& params,
+                   std::uint64_t seed)
+    : BlockDevice(sim),
+      params_(params),
+      rng_(seed),
+      timeline_(params.idle_watts) {
+  if (params_.cylinders == 0 || params_.capacity == 0) {
+    throw std::invalid_argument("HddModel: capacity and cylinders must be > 0");
+  }
+  rotation_period_ = 60.0 / params_.rpm;
+  sectors_per_cylinder_ =
+      std::max<std::uint64_t>(1, params_.capacity / kSectorSize /
+                                     params_.cylinders);
+  // seek(d) = t2t + coeff * sqrt(d); coeff chosen so a full-stroke seek
+  // costs full_stroke_seek.
+  seek_coefficient_ =
+      (params_.full_stroke_seek - params_.track_to_track_seek) /
+      std::sqrt(static_cast<double>(params_.cylinders - 1));
+}
+
+std::uint64_t HddModel::cylinder_of(Sector sector) const {
+  return std::min<std::uint64_t>(sector / sectors_per_cylinder_,
+                                 params_.cylinders - 1);
+}
+
+double HddModel::media_rate_bytes_per_sec(std::uint64_t cyl) const {
+  const double frac =
+      static_cast<double>(cyl) / static_cast<double>(params_.cylinders - 1);
+  const double mbps = params_.outer_rate_mbps +
+                      (params_.inner_rate_mbps - params_.outer_rate_mbps) * frac;
+  return mbps * 1.0e6;
+}
+
+Seconds HddModel::seek_time(std::uint64_t from_cyl, std::uint64_t to_cyl,
+                            bool sequential) const {
+  if (sequential) return 0.0;
+  const std::uint64_t distance =
+      from_cyl > to_cyl ? from_cyl - to_cyl : to_cyl - from_cyl;
+  if (distance == 0) return params_.settle_time;
+  return params_.track_to_track_seek +
+         seek_coefficient_ * std::sqrt(static_cast<double>(distance));
+}
+
+void HddModel::submit(const IoRequest& request, CompletionCallback done) {
+  if (request.bytes == 0) {
+    throw std::invalid_argument("HddModel: zero-byte request");
+  }
+  queue_.push_back(Pending{request, std::move(done), sim_.now()});
+  last_activity_ = sim_.now();
+  if (power_state_ == PowerState::kStandby) {
+    spin_up();  // I/O arrival wakes a spun-down drive
+    return;
+  }
+  if (power_state_ == PowerState::kActive && !busy_) start_next();
+}
+
+bool HddModel::spin_down() {
+  if (power_state_ != PowerState::kActive || busy_ || !queue_.empty()) {
+    return false;
+  }
+  power_state_ = PowerState::kStandby;
+  timeline_.set_base(sim_.now(), params_.standby_watts);
+  return true;
+}
+
+void HddModel::spin_up() {
+  if (power_state_ != PowerState::kStandby) return;
+  power_state_ = PowerState::kSpinningUp;
+  ++spin_ups_;
+  const std::uint64_t epoch = ++spin_up_epoch_;
+  const Seconds t0 = sim_.now();
+  timeline_.set_base(t0, params_.idle_watts);
+  timeline_.add_pulse(t0, t0 + params_.spin_up_time,
+                      params_.spin_up_extra_watts);
+  sim_.schedule_in(params_.spin_up_time, [this, epoch] {
+    if (epoch != spin_up_epoch_ ||
+        power_state_ != PowerState::kSpinningUp) {
+      return;
+    }
+    power_state_ = PowerState::kActive;
+    if (!busy_) start_next();
+  });
+}
+
+std::deque<HddModel::Pending>::iterator HddModel::pick_next() {
+  if (params_.discipline == HddParams::Discipline::kFifo ||
+      queue_.size() == 1) {
+    return queue_.begin();
+  }
+  // LOOK: among queued requests, pick the one whose cylinder is closest to
+  // the head in the current sweep direction; fall back to nearest overall.
+  auto best = queue_.begin();
+  std::uint64_t best_distance = ~0ULL;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const std::uint64_t cyl = cylinder_of(it->request.sector);
+    const std::uint64_t distance =
+        cyl > head_cylinder_ ? cyl - head_cylinder_ : head_cylinder_ - cyl;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = it;
+    }
+  }
+  return best;
+}
+
+void HddModel::start_next() {
+  if (queue_.empty() || power_state_ != PowerState::kActive) return;
+  busy_ = true;
+
+  auto it = pick_next();
+  Pending pending = std::move(*it);
+  queue_.erase(it);
+
+  const IoRequest& req = pending.request;
+  const std::uint64_t target_cyl = cylinder_of(req.sector);
+  const bool sequential =
+      have_position_ && req.sector == next_sequential_sector_;
+
+  const Seconds t0 = sim_.now();
+  const Seconds seek = seek_time(head_cylinder_, target_cyl, sequential);
+  const Seconds rotation =
+      sequential ? 0.0 : rng_.uniform(0.0, rotation_period_);
+  const Seconds transfer =
+      static_cast<double>(req.bytes) / media_rate_bytes_per_sec(target_cyl);
+  const Seconds service =
+      params_.command_overhead + seek + rotation + transfer;
+
+  // Power: voice coil during the seek, head/channel during the transfer.
+  const Seconds seek_begin = t0 + params_.command_overhead;
+  if (seek > 0.0) {
+    timeline_.add_pulse(seek_begin, seek_begin + seek,
+                        params_.seek_extra_watts);
+  }
+  const Seconds transfer_begin = seek_begin + seek + rotation;
+  Watts transfer_extra = params_.transfer_extra_watts;
+  if (req.op == OpType::kWrite) transfer_extra += params_.write_extra_watts;
+  timeline_.add_pulse(transfer_begin, transfer_begin + transfer,
+                      transfer_extra);
+
+  if (sequential) ++sequential_hits_;
+  busy_time_ += service;
+
+  const Seconds finish = t0 + service;
+  head_cylinder_ = cylinder_of(req.end_sector() ? req.end_sector() - 1
+                                                : req.sector);
+  next_sequential_sector_ = req.end_sector();
+  have_position_ = true;
+
+  sim_.schedule_at(
+      finish, [this, pending = std::move(pending), finish]() mutable {
+        ++completed_;
+        busy_ = false;
+        last_activity_ = sim_.now();
+        IoCompletion completion{pending.request.id, pending.submit_time,
+                                finish, pending.request.bytes,
+                                pending.request.op};
+        // Start the next request before invoking the callback so a callback
+        // that submits more I/O sees a live queue, not an idle disk.
+        start_next();
+        pending.done(completion);
+      });
+}
+
+}  // namespace tracer::storage

@@ -1,0 +1,34 @@
+// Block-level I/O request/completion types shared by devices, the RAID
+// engine, and the replay core. Mirrors the blktrace IO_package: starting
+// sector, size in bytes, and operation type (§IV-A, Fig 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.h"
+
+namespace tracer::storage {
+
+struct IoRequest {
+  std::uint64_t id = 0;  ///< caller-assigned correlation id
+  Sector sector = 0;     ///< starting 512-byte sector
+  Bytes bytes = 0;       ///< request size in bytes
+  OpType op = OpType::kRead;
+
+  Sector end_sector() const { return sector + (bytes + kSectorSize - 1) / kSectorSize; }
+};
+
+struct IoCompletion {
+  std::uint64_t id = 0;
+  Seconds submit_time = 0.0;
+  Seconds finish_time = 0.0;
+  Bytes bytes = 0;
+  OpType op = OpType::kRead;
+
+  Seconds latency() const { return finish_time - submit_time; }
+};
+
+using CompletionCallback = std::function<void(const IoCompletion&)>;
+
+}  // namespace tracer::storage

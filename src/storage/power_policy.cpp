@@ -1,0 +1,51 @@
+#include "storage/power_policy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tracer::storage {
+
+SpinDownManager::SpinDownManager(sim::Simulator& sim,
+                                 std::vector<HddModel*> disks,
+                                 const SpinDownPolicyParams& params)
+    : sim_(sim), disks_(std::move(disks)), params_(params) {
+  if (!(params_.idle_timeout > 0.0) || !(params_.check_period > 0.0)) {
+    throw std::invalid_argument(
+        "SpinDownManager: timeout and period must be > 0");
+  }
+  for (auto* disk : disks_) {
+    if (disk == nullptr) {
+      throw std::invalid_argument("SpinDownManager: null disk");
+    }
+  }
+}
+
+std::size_t SpinDownManager::active_disks() const {
+  std::size_t active = 0;
+  for (const auto* disk : disks_) {
+    if (disk->power_state() != HddModel::PowerState::kStandby) ++active;
+  }
+  return active;
+}
+
+void SpinDownManager::evaluate() {
+  const Seconds now = sim_.now();
+  for (auto* disk : disks_) {
+    if (active_disks() <= params_.min_active_disks) return;
+    if (disk->power_state() != HddModel::PowerState::kActive) continue;
+    if (now - disk->last_activity() >= params_.idle_timeout) {
+      if (disk->spin_down()) ++spin_downs_;
+    }
+  }
+}
+
+void SpinDownManager::schedule(Seconds t_start, Seconds t_end) {
+  const auto checks = static_cast<std::uint64_t>(
+      std::floor((t_end - t_start) / params_.check_period));
+  for (std::uint64_t i = 1; i <= checks; ++i) {
+    const Seconds t = t_start + static_cast<double>(i) * params_.check_period;
+    sim_.schedule_at(t, [this] { evaluate(); });
+  }
+}
+
+}  // namespace tracer::storage

@@ -1,0 +1,50 @@
+// Timeout-based disk spin-down — the core mechanism of the energy-
+// conservation techniques TRACER was built to compare (MAID [6] keeps only
+// recently-used disks spinning; PDC [16] migrates data so cold disks can
+// sleep). The manager watches each drive's idle time and issues STANDBY
+// after `idle_timeout`, optionally keeping a minimum set of drives hot so
+// a RAID array retains first-access responsiveness.
+//
+// Evaluated with TRACER in bench/technique_spindown: energy savings vs
+// response-time penalty as a function of I/O intensity, the same metric
+// pair every row of the paper's Table I reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/hdd_model.h"
+
+namespace tracer::storage {
+
+struct SpinDownPolicyParams {
+  Seconds idle_timeout = 10.0;     ///< spin down after this much idleness
+  Seconds check_period = 1.0;      ///< policy evaluation interval
+  std::size_t min_active_disks = 0;  ///< always-hot floor (MAID cache tier)
+};
+
+class SpinDownManager {
+ public:
+  /// `disks` are borrowed and must share `sim` and outlive the manager.
+  SpinDownManager(sim::Simulator& sim, std::vector<HddModel*> disks,
+                  const SpinDownPolicyParams& params);
+
+  /// Schedule policy checks over [t_start, t_end] (bounded, like the power
+  /// analyzer's sampling, so simulations still drain).
+  void schedule(Seconds t_start, Seconds t_end);
+
+  /// Run one policy evaluation now (exposed for tests).
+  void evaluate();
+
+  std::uint64_t spin_downs() const { return spin_downs_; }
+  std::size_t active_disks() const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<HddModel*> disks_;
+  SpinDownPolicyParams params_;
+  std::uint64_t spin_downs_ = 0;
+};
+
+}  // namespace tracer::storage

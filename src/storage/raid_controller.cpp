@@ -1,0 +1,368 @@
+#include "storage/raid_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracer::storage {
+
+struct RaidController::Transaction {
+  // The merged extent this transaction services.
+  Sector sector = 0;
+  Bytes bytes = 0;
+  OpType op = OpType::kRead;
+  // Original requests completing together when the merged op finishes.
+  std::vector<Waiting> members;
+  std::size_t pending = 0;  // children in flight
+  // Row-local RMW bookkeeping: when a row's reads finish, its writes go out.
+  struct RowPhase {
+    std::size_t reads_pending = 0;
+    std::vector<IoRequest> deferred_writes;
+    std::vector<std::size_t> deferred_disks;
+  };
+  std::map<std::uint64_t, RowPhase> rows;
+};
+
+RaidController::RaidController(sim::Simulator& sim, RaidGeometry geometry,
+                               std::vector<BlockDevice*> disks,
+                               Seconds dispatch_overhead,
+                               bool merge_contiguous)
+    : BlockDevice(sim),
+      geometry_(std::move(geometry)),
+      disks_(std::move(disks)),
+      dispatch_overhead_(dispatch_overhead),
+      merge_contiguous_(merge_contiguous),
+      max_merge_bytes_(geometry_.stripe_unit * geometry_.data_disks()) {
+  if (disks_.size() != geometry_.disk_count) {
+    throw std::invalid_argument(
+        "RaidController: disk list does not match geometry");
+  }
+  for (auto* disk : disks_) {
+    if (disk == nullptr) {
+      throw std::invalid_argument("RaidController: null member disk");
+    }
+    if (disk->capacity() < geometry_.disk_capacity) {
+      throw std::invalid_argument(
+          "RaidController: member disk smaller than geometry expects");
+    }
+  }
+}
+
+Watts RaidController::power_at(Seconds t) const {
+  Watts total = 0.0;
+  for (const auto* disk : disks_) total += disk->power_at(t);
+  return total;
+}
+
+Joules RaidController::energy_until(Seconds t) {
+  Joules total = 0.0;
+  for (auto* disk : disks_) total += disk->energy_until(t);
+  return total;
+}
+
+void RaidController::submit(const IoRequest& request, CompletionCallback done) {
+  if (request.bytes == 0) {
+    throw std::invalid_argument("RaidController: zero-byte request");
+  }
+  if (request.sector * kSectorSize + request.bytes > capacity()) {
+    throw std::out_of_range("RaidController: request beyond capacity");
+  }
+  ++outstanding_;
+  batch_.push_back(Waiting{request, std::move(done), sim_.now()});
+  if (!dispatch_scheduled_) {
+    dispatch_scheduled_ = true;
+    sim_.schedule_in(dispatch_overhead_, [this] { dispatch_batch(); });
+  }
+}
+
+void RaidController::dispatch_batch() {
+  dispatch_scheduled_ = false;
+  std::vector<Waiting> batch = std::move(batch_);
+  batch_.clear();
+  if (batch.empty()) return;
+
+  if (!merge_contiguous_ || batch.size() == 1) {
+    for (auto& waiting : batch) {
+      std::vector<Waiting> single;
+      single.push_back(std::move(waiting));
+      execute(std::move(single));
+    }
+    return;
+  }
+
+  // Elevator merge: sort by (op, sector) and coalesce contiguous runs of
+  // the same direction, capped at one stripe width.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Waiting& a, const Waiting& b) {
+                     if (a.request.op != b.request.op) {
+                       return a.request.op < b.request.op;
+                     }
+                     return a.request.sector < b.request.sector;
+                   });
+  std::vector<Waiting> run;
+  Bytes run_bytes = 0;
+  auto flush_run = [&] {
+    if (!run.empty()) {
+      if (run.size() > 1) ++stats_.merged_batches;
+      execute(std::move(run));
+      run.clear();
+      run_bytes = 0;
+    }
+  };
+  for (auto& waiting : batch) {
+    const bool continues =
+        !run.empty() && waiting.request.op == run.back().request.op &&
+        waiting.request.sector == run.back().request.end_sector() &&
+        run_bytes + waiting.request.bytes <= max_merge_bytes_;
+    if (!continues) flush_run();
+    run_bytes += waiting.request.bytes;
+    run.push_back(std::move(waiting));
+  }
+  flush_run();
+}
+
+void RaidController::execute(std::vector<Waiting> members) {
+  auto txn = std::make_shared<Transaction>();
+  txn->sector = members.front().request.sector;
+  txn->op = members.front().request.op;
+  Bytes bytes = 0;
+  for (const auto& member : members) bytes += member.request.bytes;
+  txn->bytes = bytes;
+  txn->members = std::move(members);
+
+  if (txn->op == OpType::kRead) {
+    stats_.logical_reads += txn->members.size();
+    issue_read(txn);
+  } else {
+    stats_.logical_writes += txn->members.size();
+    issue_write(txn);
+  }
+}
+
+void RaidController::fail_disk(std::size_t disk) {
+  if (geometry_.level != RaidLevel::kRaid5) {
+    throw std::logic_error("fail_disk: degraded mode needs RAID-5");
+  }
+  if (disk >= disks_.size()) {
+    throw std::out_of_range("fail_disk: no such member");
+  }
+  if (failed_disk_ >= 0) {
+    throw std::logic_error(
+        "fail_disk: a member is already failed (double fault loses data)");
+  }
+  failed_disk_ = static_cast<std::ptrdiff_t>(disk);
+}
+
+void RaidController::restore_disk(std::size_t disk) {
+  if (failed_disk_ != static_cast<std::ptrdiff_t>(disk)) {
+    throw std::logic_error("restore_disk: that member is not failed");
+  }
+  failed_disk_ = -1;
+}
+
+void RaidController::issue_read(const std::shared_ptr<Transaction>& txn) {
+  const Bytes logical_byte = txn->sector * kSectorSize;
+  const auto extents = geometry_.map(logical_byte, txn->bytes);
+
+  // Count children first (reconstructed extents fan out to n-1 reads).
+  std::size_t total = 0;
+  for (const auto& extent : extents) {
+    total += failed_disk_ == static_cast<std::ptrdiff_t>(extent.disk)
+                 ? disks_.size() - 1
+                 : 1;
+  }
+  txn->pending = total;
+  stats_.child_reads += total;
+
+  for (const auto& extent : extents) {
+    if (failed_disk_ == static_cast<std::ptrdiff_t>(extent.disk)) {
+      // Degraded read: XOR of the same extent range on every surviving
+      // member (each member stores its unit of the row at the same
+      // disk-local sectors, so the addresses coincide).
+      ++stats_.reconstructed_reads;
+      for (std::size_t d = 0; d < disks_.size(); ++d) {
+        if (static_cast<std::ptrdiff_t>(d) == failed_disk_) continue;
+        issue_child(d, extent.sector, extent.bytes, OpType::kRead, txn);
+      }
+    } else {
+      issue_child(extent.disk, extent.sector, extent.bytes, OpType::kRead,
+                  txn);
+    }
+  }
+}
+
+void RaidController::issue_write(const std::shared_ptr<Transaction>& txn) {
+  const Bytes logical_byte = txn->sector * kSectorSize;
+  const auto extents = geometry_.map(logical_byte, txn->bytes);
+
+  if (geometry_.level == RaidLevel::kRaid0) {
+    txn->pending = extents.size();
+    stats_.child_writes += extents.size();
+    for (const auto& extent : extents) {
+      issue_child(extent.disk, extent.sector, extent.bytes, OpType::kWrite,
+                  txn);
+    }
+    return;
+  }
+
+  // RAID-5: group extents per stripe row and pick full-stripe vs RMW.
+  struct RowPlan {
+    std::vector<const RaidGeometry::Extent*> extents;
+    Bytes bytes = 0;
+    Bytes min_offset = ~0ULL;
+    Bytes max_end = 0;
+  };
+  std::map<std::uint64_t, RowPlan> row_plans;
+  for (const auto& extent : extents) {
+    RowPlan& plan = row_plans[extent.row];
+    plan.extents.push_back(&extent);
+    plan.bytes += extent.bytes;
+    plan.min_offset = std::min(plan.min_offset, extent.offset_in_unit);
+    plan.max_end =
+        std::max(plan.max_end, extent.offset_in_unit + extent.bytes);
+  }
+
+  // Plan children per row, accounting for a failed member, then count them
+  // all before issuing so completions cannot race the loop.
+  struct RowChildren {
+    std::vector<RaidGeometry::Extent> phase1_reads;
+    std::vector<RaidGeometry::Extent> writes;  // deferred iff reads exist
+  };
+  std::map<std::uint64_t, RowChildren> row_children;
+  const Bytes full_row = geometry_.stripe_unit * geometry_.data_disks();
+  auto disk_failed = [this](std::size_t disk) {
+    return failed_disk_ == static_cast<std::ptrdiff_t>(disk);
+  };
+
+  for (auto& [row, plan] : row_plans) {
+    RowChildren& children = row_children[row];
+    const std::size_t pd = geometry_.parity_disk(row);
+    const Bytes span = plan.max_end - plan.min_offset;
+    const auto parity = geometry_.parity_extent(row, plan.min_offset, span);
+
+    if (plan.bytes == full_row) {
+      // Full-stripe write: parity computed in-core, no reads. A failed
+      // member simply receives nothing.
+      ++stats_.full_stripe_writes;
+      for (const auto* extent : plan.extents) {
+        if (!disk_failed(extent->disk)) children.writes.push_back(*extent);
+      }
+      const auto full_parity =
+          geometry_.parity_extent(row, 0, geometry_.stripe_unit);
+      if (!disk_failed(pd)) children.writes.push_back(full_parity);
+      continue;
+    }
+
+    if (disk_failed(pd)) {
+      // Parity member is gone: data writes land directly, nothing to
+      // maintain until rebuild.
+      for (const auto* extent : plan.extents) {
+        children.writes.push_back(*extent);
+      }
+      continue;
+    }
+
+    const RaidGeometry::Extent* failed_extent = nullptr;
+    for (const auto* extent : plan.extents) {
+      if (disk_failed(extent->disk)) failed_extent = extent;
+    }
+
+    ++stats_.rmw_rows;
+    if (failed_extent != nullptr) {
+      // Reconstruct-write: the target unit's member is gone, so new parity
+      // must be recomputed from the surviving data units over the span.
+      for (std::size_t d = 0; d < disks_.size(); ++d) {
+        if (disk_failed(d) || d == pd) continue;
+        RaidGeometry::Extent read_extent = parity;  // same row-local range
+        read_extent.disk = d;
+        children.phase1_reads.push_back(read_extent);
+      }
+      for (const auto* extent : plan.extents) {
+        if (!disk_failed(extent->disk)) children.writes.push_back(*extent);
+      }
+      children.writes.push_back(parity);
+    } else {
+      // Classic read-modify-write.
+      for (const auto* extent : plan.extents) {
+        children.phase1_reads.push_back(*extent);
+      }
+      children.phase1_reads.push_back(parity);
+      for (const auto* extent : plan.extents) {
+        children.writes.push_back(*extent);
+      }
+      children.writes.push_back(parity);
+    }
+  }
+
+  std::size_t total_children = 0;
+  for (auto& [row, children] : row_children) {
+    total_children += children.phase1_reads.size() + children.writes.size();
+  }
+  txn->pending = total_children;
+  if (total_children == 0) {
+    // Degenerate degraded corner: nothing physical to do (e.g. the only
+    // touched data unit and the parity are both the failed member's span).
+    txn->pending = 1;
+    sim_.schedule_in(0.0, [this, txn] { child_done(txn); });
+    return;
+  }
+
+  for (auto& [row, children] : row_children) {
+    if (children.phase1_reads.empty()) {
+      stats_.child_writes += children.writes.size();
+      for (const auto& extent : children.writes) {
+        issue_child(extent.disk, extent.sector, extent.bytes, OpType::kWrite,
+                    txn);
+      }
+      continue;
+    }
+
+    auto& phase = txn->rows[row];
+    phase.reads_pending = children.phase1_reads.size();
+    for (const auto& extent : children.writes) {
+      phase.deferred_writes.push_back(
+          IoRequest{0, extent.sector, extent.bytes, OpType::kWrite});
+      phase.deferred_disks.push_back(extent.disk);
+    }
+
+    auto on_row_read = [this, txn, row_key = row](const IoCompletion&) {
+      auto& row_phase = txn->rows[row_key];
+      if (--row_phase.reads_pending == 0) {
+        stats_.child_writes += row_phase.deferred_writes.size();
+        for (std::size_t i = 0; i < row_phase.deferred_writes.size(); ++i) {
+          const IoRequest& w = row_phase.deferred_writes[i];
+          issue_child(row_phase.deferred_disks[i], w.sector, w.bytes, w.op,
+                      txn);
+        }
+      }
+      child_done(txn);
+    };
+    stats_.child_reads += children.phase1_reads.size();
+    for (const auto& extent : children.phase1_reads) {
+      IoRequest read_req{next_child_id_++, extent.sector, extent.bytes,
+                         OpType::kRead};
+      disks_[extent.disk]->submit(read_req, on_row_read);
+    }
+  }
+}
+
+void RaidController::issue_child(std::size_t disk, Sector sector, Bytes bytes,
+                                 OpType op,
+                                 const std::shared_ptr<Transaction>& txn) {
+  IoRequest child{next_child_id_++, sector, bytes, op};
+  disks_[disk]->submit(child,
+                       [this, txn](const IoCompletion&) { child_done(txn); });
+}
+
+void RaidController::child_done(const std::shared_ptr<Transaction>& txn) {
+  if (--txn->pending == 0) {
+    const Seconds finish = sim_.now();
+    outstanding_ -= txn->members.size();
+    for (auto& member : txn->members) {
+      IoCompletion completion{member.request.id, member.submit_time, finish,
+                              member.request.bytes, member.request.op};
+      member.done(completion);
+    }
+  }
+}
+
+}  // namespace tracer::storage

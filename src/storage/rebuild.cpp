@@ -1,0 +1,95 @@
+#include "storage/rebuild.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace tracer::storage {
+
+RebuildProcess::RebuildProcess(sim::Simulator& sim, RaidController& controller,
+                               const RebuildParams& params,
+                               std::function<void()> on_complete)
+    : sim_(sim),
+      controller_(controller),
+      params_(params),
+      on_complete_(std::move(on_complete)) {
+  if (!controller_.degraded()) {
+    throw std::logic_error("RebuildProcess: controller is not degraded");
+  }
+  if (params_.chunk == 0 || params_.chunk % controller_.geometry().stripe_unit
+      != 0) {
+    throw std::invalid_argument(
+        "RebuildProcess: chunk must be a positive stripe-unit multiple");
+  }
+  if (!(params_.throttle_mbps > 0.0)) {
+    throw std::invalid_argument("RebuildProcess: throttle must be > 0");
+  }
+  target_disk_ = static_cast<std::size_t>(controller_.failed_disk());
+  const auto& geometry = controller_.geometry();
+  total_ = geometry.rows() * geometry.stripe_unit;
+  if (params_.limit_bytes > 0) {
+    total_ = std::min(total_, params_.limit_bytes);
+  }
+}
+
+double RebuildProcess::progress() const {
+  return total_ ? static_cast<double>(rebuilt_) / static_cast<double>(total_)
+                : 1.0;
+}
+
+void RebuildProcess::start() {
+  if (running_ || complete_) {
+    throw std::logic_error("RebuildProcess: already started");
+  }
+  running_ = true;
+  started_at_ = sim_.now();
+  rebuild_next_chunk();
+}
+
+void RebuildProcess::rebuild_next_chunk() {
+  if (cursor_ >= total_) {
+    running_ = false;
+    complete_ = true;
+    finished_at_ = sim_.now();
+    controller_.restore_disk(target_disk_);
+    if (on_complete_) on_complete_();
+    return;
+  }
+
+  const Bytes chunk = std::min<Bytes>(params_.chunk, total_ - cursor_);
+  const Sector sector = cursor_ / kSectorSize;
+  const Seconds chunk_began = sim_.now();
+
+  // Phase 1: read this disk-local range from every surviving member (the
+  // row-units of a range are at identical local offsets on all members).
+  auto reads_left = std::make_shared<std::size_t>(0);
+  const std::size_t members = controller_.member_count();
+  *reads_left = members - 1;
+
+  auto on_read = [this, reads_left, sector, chunk,
+                  chunk_began](const IoCompletion&) {
+    if (--*reads_left > 0) return;
+    // Phase 2: write the reconstructed range to the replacement.
+    IoRequest write_req{0, sector, chunk, OpType::kWrite};
+    controller_.member(target_disk_)
+        .submit(write_req, [this, chunk, chunk_began](const IoCompletion&) {
+          rebuilt_ += chunk;
+          cursor_ += chunk;
+          // Throttle: the next chunk may start no earlier than the pace
+          // set by throttle_mbps, measured from this chunk's start.
+          const Seconds pace =
+              static_cast<double>(chunk) / (params_.throttle_mbps * 1e6);
+          const Seconds elapsed_chunk = sim_.now() - chunk_began;
+          const Seconds delay = std::max(0.0, pace - elapsed_chunk);
+          sim_.schedule_in(delay, [this] { rebuild_next_chunk(); });
+        });
+  };
+
+  for (std::size_t d = 0; d < members; ++d) {
+    if (d == target_disk_) continue;
+    IoRequest read_req{0, sector, chunk, OpType::kRead};
+    controller_.member(d).submit(read_req, on_read);
+  }
+}
+
+}  // namespace tracer::storage

@@ -1,0 +1,89 @@
+#include "trace/blk_format.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/binary_io.h"
+
+namespace tracer::trace {
+
+namespace {
+constexpr std::uint64_t kMaxBunches = 1ULL << 32;
+constexpr std::uint32_t kMaxPackagesPerBunch = 1U << 20;
+}  // namespace
+
+void write_blk(std::ostream& out, const Trace& trace) {
+  util::BinaryWriter writer(out);
+  writer.raw(kBlkMagic, sizeof(kBlkMagic));
+  writer.u16(kBlkVersion);
+  writer.str(trace.device);
+  writer.u64(trace.bunches.size());
+  for (const auto& bunch : trace.bunches) {
+    writer.f64(bunch.timestamp);
+    writer.u32(static_cast<std::uint32_t>(bunch.packages.size()));
+    for (const auto& pkg : bunch.packages) {
+      writer.u64(pkg.sector);
+      writer.u32(static_cast<std::uint32_t>(pkg.bytes));
+      writer.u8(static_cast<std::uint8_t>(pkg.op));
+    }
+  }
+  if (!writer.good()) {
+    throw std::runtime_error("write_blk: stream write failed");
+  }
+}
+
+void write_blk_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_blk_file: cannot open " + path);
+  write_blk(out, trace);
+}
+
+Trace read_blk(std::istream& in) {
+  util::BinaryReader reader(in);
+  char magic[4];
+  reader.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kBlkMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("read_blk: bad magic (not a .replay trace)");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kBlkVersion) {
+    throw std::runtime_error("read_blk: unsupported version " +
+                             std::to_string(version));
+  }
+  Trace trace;
+  trace.device = reader.str();
+  const std::uint64_t bunch_count = reader.u64();
+  if (bunch_count > kMaxBunches) {
+    throw std::runtime_error("read_blk: implausible bunch count");
+  }
+  trace.bunches.reserve(bunch_count);
+  for (std::uint64_t b = 0; b < bunch_count; ++b) {
+    Bunch bunch;
+    bunch.timestamp = reader.f64();
+    const std::uint32_t package_count = reader.u32();
+    if (package_count > kMaxPackagesPerBunch) {
+      throw std::runtime_error("read_blk: implausible package count");
+    }
+    bunch.packages.reserve(package_count);
+    for (std::uint32_t p = 0; p < package_count; ++p) {
+      IoPackage pkg;
+      pkg.sector = reader.u64();
+      pkg.bytes = reader.u32();
+      const std::uint8_t op = reader.u8();
+      if (op > 1) throw std::runtime_error("read_blk: bad op code");
+      pkg.op = static_cast<OpType>(op);
+      bunch.packages.push_back(pkg);
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+Trace read_blk_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_blk_file: cannot open " + path);
+  return read_blk(in);
+}
+
+}  // namespace tracer::trace

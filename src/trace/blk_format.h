@@ -1,0 +1,32 @@
+// Binary ".replay" trace format (the blktrace-derived layout of Fig 4).
+//
+// Layout (little-endian):
+//   magic "TRCR" | u16 version | str device
+//   u64 bunch_count
+//   per bunch: f64 timestamp | u32 package_count
+//     per package: u64 sector | u32 bytes | u8 op
+//
+// Sanity limits guard against loading corrupted files into memory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace tracer::trace {
+
+inline constexpr char kBlkMagic[4] = {'T', 'R', 'C', 'R'};
+inline constexpr std::uint16_t kBlkVersion = 1;
+
+/// Extension used by the trace repository, matching the paper's ".replay".
+inline constexpr const char* kBlkExtension = ".replay";
+
+void write_blk(std::ostream& out, const Trace& trace);
+void write_blk_file(const std::string& path, const Trace& trace);
+
+/// Throws std::runtime_error on bad magic/version/truncation.
+Trace read_blk(std::istream& in);
+Trace read_blk_file(const std::string& path);
+
+}  // namespace tracer::trace

@@ -1,0 +1,33 @@
+#include "trace/bunching.h"
+
+#include <algorithm>
+
+namespace tracer::trace {
+
+Trace bunch_packages(std::vector<TimedPackage> packages, Seconds window,
+                     const std::string& device) {
+  Trace trace;
+  trace.device = device;
+  if (packages.empty()) return trace;
+
+  std::stable_sort(packages.begin(), packages.end(),
+                   [](const TimedPackage& a, const TimedPackage& b) {
+                     return a.first < b.first;
+                   });
+  const Seconds base = packages.front().first;
+  for (auto& [time, pkg] : packages) {
+    const Seconds rel = time - base;
+    if (!trace.bunches.empty() &&
+        rel - trace.bunches.back().timestamp <= window) {
+      trace.bunches.back().packages.push_back(pkg);
+    } else {
+      Bunch bunch;
+      bunch.timestamp = rel;
+      bunch.packages.push_back(pkg);
+      trace.bunches.push_back(std::move(bunch));
+    }
+  }
+  return trace;
+}
+
+}  // namespace tracer::trace

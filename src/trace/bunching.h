@@ -1,0 +1,19 @@
+// Assemble timestamped packages into the Fig 4 bunch structure. Shared by
+// the synthetic real-world models and the SRT transformer.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace tracer::trace {
+
+using TimedPackage = std::pair<Seconds, IoPackage>;
+
+/// Sort packages by time, rebase to t = 0, and group packages that arrive
+/// within `window` seconds of a bunch's first package into that bunch.
+Trace bunch_packages(std::vector<TimedPackage> packages, Seconds window,
+                     const std::string& device);
+
+}  // namespace tracer::trace

@@ -1,0 +1,50 @@
+#include "trace/collector.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tracer::trace {
+
+TraceCollector::TraceCollector(std::string device, Seconds bunch_window)
+    : device_(std::move(device)), bunch_window_(bunch_window) {
+  trace_.device = device_;
+}
+
+void TraceCollector::on_submit(Seconds t, const storage::IoRequest& request) {
+  if (have_first_ && t < last_time_) {
+    throw std::logic_error("TraceCollector: submissions must be time-ordered");
+  }
+  if (!have_first_) {
+    first_time_ = t;
+    have_first_ = true;
+  }
+  last_time_ = t;
+  const Seconds rel = t - first_time_;
+
+  IoPackage pkg;
+  pkg.sector = request.sector;
+  pkg.bytes = request.bytes;
+  pkg.op = request.op;
+  ++packages_;
+
+  if (!trace_.bunches.empty() &&
+      rel - trace_.bunches.back().timestamp <= bunch_window_) {
+    trace_.bunches.back().packages.push_back(pkg);
+    return;
+  }
+  Bunch bunch;
+  bunch.timestamp = rel;
+  bunch.packages.push_back(pkg);
+  trace_.bunches.push_back(std::move(bunch));
+}
+
+Trace TraceCollector::finish() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  trace_.device = device_;
+  have_first_ = false;
+  packages_ = 0;
+  return out;
+}
+
+}  // namespace tracer::trace

@@ -1,0 +1,93 @@
+#include "trace/repository.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/blk_format.h"
+#include "util/string_util.h"
+
+namespace tracer::trace {
+
+std::string TraceKey::file_name() const {
+  return device + "_rs" + util::format_size(request_size) + "_rnd" +
+         std::to_string(random_pct) + "_rd" + std::to_string(read_pct) +
+         kBlkExtension;
+}
+
+std::optional<TraceKey> TraceKey::parse(const std::string& file_name) {
+  if (!util::ends_with(file_name, kBlkExtension)) return std::nullopt;
+  const std::string stem =
+      file_name.substr(0, file_name.size() - std::string(kBlkExtension).size());
+  // Split from the right: the device label may itself contain '_'.
+  const auto parts = util::split(stem, '_');
+  if (parts.size() < 4) return std::nullopt;
+  const std::string& rd = parts[parts.size() - 1];
+  const std::string& rnd = parts[parts.size() - 2];
+  const std::string& rs = parts[parts.size() - 3];
+  if (!util::starts_with(rs, "rs") || !util::starts_with(rnd, "rnd") ||
+      !util::starts_with(rd, "rd")) {
+    return std::nullopt;
+  }
+  TraceKey key;
+  std::uint64_t size = 0;
+  std::uint64_t random_pct = 0;
+  std::uint64_t read_pct = 0;
+  if (!util::parse_size(rs.substr(2), size) ||
+      !util::parse_u64(rnd.substr(3), random_pct) || random_pct > 100 ||
+      !util::parse_u64(rd.substr(2), read_pct) || read_pct > 100) {
+    return std::nullopt;
+  }
+  key.request_size = size;
+  key.random_pct = static_cast<int>(random_pct);
+  key.read_pct = static_cast<int>(read_pct);
+  for (std::size_t i = 0; i + 3 < parts.size(); ++i) {
+    if (i) key.device += '_';
+    key.device += parts[i];
+  }
+  if (key.device.empty()) return std::nullopt;
+  return key;
+}
+
+TraceRepository::TraceRepository(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path TraceRepository::path_for(const TraceKey& key) const {
+  return directory_ / key.file_name();
+}
+
+void TraceRepository::store(const TraceKey& key, const Trace& trace) const {
+  write_blk_file(path_for(key).string(), trace);
+}
+
+bool TraceRepository::contains(const TraceKey& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+Trace TraceRepository::load(const TraceKey& key) const {
+  const auto path = path_for(key);
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error("TraceRepository: no trace " + key.file_name());
+  }
+  return read_blk_file(path.string());
+}
+
+std::vector<TraceKey> TraceRepository::list() const {
+  std::vector<std::pair<std::string, TraceKey>> found;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (auto key = TraceKey::parse(name)) {
+      found.emplace_back(name, *key);
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TraceKey> keys;
+  keys.reserve(found.size());
+  for (auto& [name, key] : found) keys.push_back(std::move(key));
+  return keys;
+}
+
+}  // namespace tracer::trace

@@ -1,0 +1,59 @@
+// Trace repository (§III-A2): a directory of .replay files whose names
+// encode the collection parameters — "the name of each trace file implies
+// important information such as storage device type, request size, random
+// rate, and read rate".
+//
+// Naming scheme:  <device>_rs<size>_rnd<pct>_rd<pct>.replay
+// e.g.            raid5-hdd6_rs4K_rnd50_rd0.replay
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace tracer::trace {
+
+/// The parameters a repository file name encodes.
+struct TraceKey {
+  std::string device;       ///< storage device type label
+  Bytes request_size = 0;   ///< nominal request size
+  int random_pct = 0;       ///< random ratio, percent 0..100
+  int read_pct = 0;         ///< read ratio, percent 0..100
+
+  std::string file_name() const;
+  /// Parse a file name produced by file_name(); nullopt when it does not
+  /// follow the scheme (foreign files in the directory are skipped, not
+  /// errors).
+  static std::optional<TraceKey> parse(const std::string& file_name);
+
+  friend bool operator==(const TraceKey&, const TraceKey&) = default;
+};
+
+class TraceRepository {
+ public:
+  /// Opens (and creates if needed) the repository directory.
+  explicit TraceRepository(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+  /// Store a trace under its key; overwrites an existing entry.
+  void store(const TraceKey& key, const Trace& trace) const;
+
+  bool contains(const TraceKey& key) const;
+
+  /// Load a trace; throws std::runtime_error when missing or corrupt.
+  Trace load(const TraceKey& key) const;
+
+  /// All keys present, sorted by file name (deterministic sweeps).
+  std::vector<TraceKey> list() const;
+
+  std::filesystem::path path_for(const TraceKey& key) const;
+
+ private:
+  std::filesystem::path directory_;
+};
+
+}  // namespace tracer::trace

@@ -1,0 +1,106 @@
+#include "trace/srt_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace tracer::trace {
+
+std::vector<SrtRecord> parse_srt(std::istream& in) {
+  std::vector<SrtRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split_whitespace(trimmed);
+    if (fields.size() != 5) {
+      throw std::runtime_error("parse_srt: line " + std::to_string(line_no) +
+                               ": expected 5 fields, got " +
+                               std::to_string(fields.size()));
+    }
+    SrtRecord record;
+    if (!util::parse_double(fields[0], record.time) || record.time < 0.0) {
+      throw std::runtime_error("parse_srt: line " + std::to_string(line_no) +
+                               ": bad time '" + fields[0] + "'");
+    }
+    record.device = fields[1];
+    if (!util::parse_u64(fields[2], record.start_byte)) {
+      throw std::runtime_error("parse_srt: line " + std::to_string(line_no) +
+                               ": bad start byte '" + fields[2] + "'");
+    }
+    if (!util::parse_u64(fields[3], record.size) || record.size == 0) {
+      throw std::runtime_error("parse_srt: line " + std::to_string(line_no) +
+                               ": bad size '" + fields[3] + "'");
+    }
+    const std::string op = util::to_lower(fields[4]);
+    if (op == "r" || op == "read") {
+      record.op = OpType::kRead;
+    } else if (op == "w" || op == "write") {
+      record.op = OpType::kWrite;
+    } else {
+      throw std::runtime_error("parse_srt: line " + std::to_string(line_no) +
+                               ": bad op '" + fields[4] + "'");
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<SrtRecord> parse_srt_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_srt_file: cannot open " + path);
+  return parse_srt(in);
+}
+
+void write_srt(std::ostream& out, const std::vector<SrtRecord>& records) {
+  out << "# HP SRT-format block I/O trace (TRACER export)\n";
+  out << "# time_sec device start_byte size_byte op\n";
+  for (const auto& r : records) {
+    out << util::format("%.6f %s %llu %llu %s\n", r.time, r.device.c_str(),
+                        static_cast<unsigned long long>(r.start_byte),
+                        static_cast<unsigned long long>(r.size),
+                        r.op == OpType::kRead ? "R" : "W");
+  }
+}
+
+void write_srt_file(const std::string& path,
+                    const std::vector<SrtRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_srt_file: cannot open " + path);
+  write_srt(out, records);
+}
+
+Trace srt_to_blk(const std::vector<SrtRecord>& records, Seconds bunch_window,
+                 const std::string& device) {
+  Trace trace;
+  trace.device = device;
+  Seconds last_time = -1.0;
+  for (const auto& record : records) {
+    if (record.time < last_time) {
+      throw std::runtime_error("srt_to_blk: records not time-sorted");
+    }
+    last_time = record.time;
+
+    IoPackage pkg;
+    pkg.sector = record.start_byte / kSectorSize;
+    pkg.bytes = record.size;
+    pkg.op = record.op;
+
+    if (!trace.bunches.empty() &&
+        record.time - trace.bunches.back().timestamp <= bunch_window) {
+      trace.bunches.back().packages.push_back(pkg);
+    } else {
+      Bunch bunch;
+      bunch.timestamp = record.time;
+      bunch.packages.push_back(pkg);
+      trace.bunches.push_back(std::move(bunch));
+    }
+  }
+  return trace;
+}
+
+}  // namespace tracer::trace

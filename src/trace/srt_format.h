@@ -1,0 +1,46 @@
+// HP SRT trace format ("trace files with the extension name srt", §III-A2).
+//
+// The cello96/cello99 distributions are disk I/O logs from HP-UX servers.
+// We implement the textual SRT rendering used by HP's trace tools: one
+// record per line,
+//   <time_sec> <device> <start_byte> <size_byte> <R|W>
+// with '#' comment lines. The transformer (srt→.replay) groups records
+// whose arrival times fall within a concurrency window into bunches,
+// matching how blktrace batches concurrent submissions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace tracer::trace {
+
+struct SrtRecord {
+  Seconds time = 0.0;
+  std::string device;
+  Bytes start_byte = 0;
+  Bytes size = 0;
+  OpType op = OpType::kRead;
+
+  friend bool operator==(const SrtRecord&, const SrtRecord&) = default;
+};
+
+/// Parse SRT text. Malformed lines raise std::runtime_error with the line
+/// number; blank and comment lines are skipped.
+std::vector<SrtRecord> parse_srt(std::istream& in);
+std::vector<SrtRecord> parse_srt_file(const std::string& path);
+
+void write_srt(std::ostream& out, const std::vector<SrtRecord>& records);
+void write_srt_file(const std::string& path,
+                    const std::vector<SrtRecord>& records);
+
+/// The trace format transformer: SRT records -> blktrace-style Trace.
+/// Records closer together than `bunch_window` seconds join one bunch.
+/// Records must be time-sorted (SRT files are); out-of-order input throws.
+Trace srt_to_blk(const std::vector<SrtRecord>& records,
+                 Seconds bunch_window = 0.5e-3,
+                 const std::string& device = "srt-import");
+
+}  // namespace tracer::trace

@@ -1,0 +1,46 @@
+#include "trace/trace.h"
+
+namespace tracer::trace {
+
+Bytes Bunch::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& pkg : packages) total += pkg.bytes;
+  return total;
+}
+
+std::uint64_t Trace::package_count() const {
+  std::uint64_t count = 0;
+  for (const auto& bunch : bunches) count += bunch.packages.size();
+  return count;
+}
+
+Bytes Trace::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& bunch : bunches) total += bunch.total_bytes();
+  return total;
+}
+
+Seconds Trace::duration() const {
+  return bunches.empty() ? 0.0 : bunches.back().timestamp;
+}
+
+double Trace::read_ratio() const {
+  std::uint64_t reads = 0;
+  std::uint64_t total = 0;
+  for (const auto& bunch : bunches) {
+    for (const auto& pkg : bunch.packages) {
+      ++total;
+      if (pkg.op == OpType::kRead) ++reads;
+    }
+  }
+  return total ? static_cast<double>(reads) / static_cast<double>(total) : 0.0;
+}
+
+double Trace::mean_request_size() const {
+  const std::uint64_t count = package_count();
+  return count ? static_cast<double>(total_bytes()) /
+                     static_cast<double>(count)
+               : 0.0;
+}
+
+}  // namespace tracer::trace

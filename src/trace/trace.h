@@ -1,0 +1,48 @@
+// In-memory block-level trace, mirroring the blktrace replay file structure
+// of Fig 4: a trace is a sequence of *bunches*; a bunch is a timestamped set
+// of concurrent IO_packages; an IO_package is (starting sector, size in
+// bytes, read/write).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tracer::trace {
+
+struct IoPackage {
+  Sector sector = 0;
+  Bytes bytes = 0;
+  OpType op = OpType::kRead;
+
+  friend bool operator==(const IoPackage&, const IoPackage&) = default;
+};
+
+struct Bunch {
+  Seconds timestamp = 0.0;          ///< arrival time of the bunch
+  std::vector<IoPackage> packages;  ///< replayed concurrently (§IV-A)
+
+  Bytes total_bytes() const;
+  friend bool operator==(const Bunch&, const Bunch&) = default;
+};
+
+struct Trace {
+  std::string device;  ///< collection target, encoded in repository names
+  std::vector<Bunch> bunches;
+
+  bool empty() const { return bunches.empty(); }
+  std::size_t bunch_count() const { return bunches.size(); }
+  std::uint64_t package_count() const;
+  Bytes total_bytes() const;
+  /// Duration from time zero through the last bunch arrival.
+  Seconds duration() const;
+  /// Fraction of packages that are reads.
+  double read_ratio() const;
+  /// Mean package size in bytes.
+  double mean_request_size() const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+}  // namespace tracer::trace

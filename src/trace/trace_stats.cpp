@@ -1,0 +1,73 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tracer::trace {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.bunches = trace.bunch_count();
+  stats.duration = trace.duration();
+
+  std::vector<std::pair<Bytes, Bytes>> extents;  // [begin, end) in bytes
+  std::uint64_t reads = 0;
+  std::uint64_t sequential = 0;
+  bool have_prev = false;
+  Sector prev_end = 0;
+
+  for (const auto& bunch : trace.bunches) {
+    for (const auto& pkg : bunch.packages) {
+      ++stats.packages;
+      stats.total_bytes += pkg.bytes;
+      if (pkg.op == OpType::kRead) ++reads;
+      if (have_prev && pkg.sector == prev_end) ++sequential;
+      prev_end = pkg.sector + (pkg.bytes + kSectorSize - 1) / kSectorSize;
+      have_prev = true;
+      const Bytes begin = pkg.sector * kSectorSize;
+      extents.emplace_back(begin, begin + pkg.bytes);
+    }
+  }
+
+  if (stats.packages > 0) {
+    stats.read_ratio =
+        static_cast<double>(reads) / static_cast<double>(stats.packages);
+    stats.mean_request_kb = static_cast<double>(stats.total_bytes) /
+                            static_cast<double>(stats.packages) / 1024.0;
+    // The first package has no predecessor, so normalise over n-1 gaps.
+    if (stats.packages > 1) {
+      stats.sequential_ratio = static_cast<double>(sequential) /
+                               static_cast<double>(stats.packages - 1);
+    }
+  }
+
+  if (!extents.empty()) {
+    std::sort(extents.begin(), extents.end());
+    Bytes merged = 0;
+    Bytes cur_begin = extents.front().first;
+    Bytes cur_end = extents.front().second;
+    for (std::size_t i = 1; i < extents.size(); ++i) {
+      const auto& [begin, end] = extents[i];
+      if (begin <= cur_end) {
+        cur_end = std::max(cur_end, end);
+      } else {
+        merged += cur_end - cur_begin;
+        cur_begin = begin;
+        cur_end = end;
+      }
+    }
+    merged += cur_end - cur_begin;
+    stats.dataset_bytes = merged;
+    stats.address_span_bytes = extents.back().second - extents.front().first;
+  }
+
+  if (stats.duration > 0.0) {
+    stats.mean_iops =
+        static_cast<double>(stats.packages) / stats.duration;
+    stats.mean_mbps =
+        static_cast<double>(stats.total_bytes) / stats.duration / 1.0e6;
+  }
+  return stats;
+}
+
+}  // namespace tracer::trace

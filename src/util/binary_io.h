@@ -1,0 +1,103 @@
+// Little-endian binary stream helpers for the trace file formats and the
+// results database. Explicit byte order keeps files portable across hosts
+// (trace repositories are shared between workload-generator machines).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace tracer::util {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { little(v); }
+  void u32(std::uint32_t v) { little(v); }
+  void u64(std::uint64_t v) { little(v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void raw(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+  }
+  bool good() const { return out_.good(); }
+
+ private:
+  template <typename T>
+  void little(T v) {
+    std::uint8_t bytes[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    raw(bytes, sizeof(T));
+  }
+
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() { return little<std::uint16_t>(); }
+  std::uint32_t u32() { return little<std::uint32_t>(); }
+  std::uint64_t u64() { return little<std::uint64_t>(); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str(std::size_t max_size = 1 << 20) {
+    const std::uint32_t size = u32();
+    if (size > max_size) {
+      throw std::runtime_error("BinaryReader: string length exceeds limit");
+    }
+    std::string s(size, '\0');
+    raw(s.data(), size);
+    return s;
+  }
+  void raw(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (in_.gcount() != static_cast<std::streamsize>(size)) {
+      throw std::runtime_error("BinaryReader: truncated input");
+    }
+  }
+  bool at_eof() {
+    return in_.peek() == std::istream::traits_type::eof();
+  }
+
+ private:
+  template <typename T>
+  T little() {
+    std::uint8_t bytes[sizeof(T)];
+    raw(bytes, sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(bytes[i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  std::istream& in_;
+};
+
+}  // namespace tracer::util

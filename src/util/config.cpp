@@ -1,0 +1,116 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace tracer::util {
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::string section;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::runtime_error("Config: bad section header at line " +
+                                 std::to_string(line_no));
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("Config: missing '=' at line " +
+                               std::to_string(line_no));
+    }
+    std::string key(trim(line.substr(0, eq)));
+    const std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key at line " +
+                               std::to_string(line_no));
+    }
+    if (!section.empty()) key = section + "." + key;
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::int64_t out = 0;
+  if (!parse_i64(*v, out)) {
+    throw std::runtime_error("Config: key '" + key + "' is not an integer: " +
+                             *v);
+  }
+  return out;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  double out = 0.0;
+  if (!parse_double(*v, out)) {
+    throw std::runtime_error("Config: key '" + key + "' is not a number: " +
+                             *v);
+  }
+  return out;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off")
+    return false;
+  throw std::runtime_error("Config: key '" + key + "' is not a bool: " + *v);
+}
+
+std::uint64_t Config::get_size(const std::string& key,
+                               std::uint64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::uint64_t out = 0;
+  if (!parse_size(*v, out)) {
+    throw std::runtime_error("Config: key '" + key + "' is not a size: " + *v);
+  }
+  return out;
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,49 @@
+// Flat key=value configuration with '#' comments and [section] prefixes.
+// Used by the evaluation host to load testbed descriptions (the paper's
+// Table II) and by examples to override model parameters without rebuilds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tracer::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text. Keys inside "[section]" blocks become "section.key".
+  /// Throws std::runtime_error with a line number on malformed input.
+  static Config parse(std::string_view text);
+
+  /// Load a file; throws std::runtime_error when unreadable.
+  static Config load(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters returning `fallback` when the key is absent; throwing
+  /// std::runtime_error when present but malformed (silent coercion of a
+  /// typo'd power figure would invalidate an experiment).
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  /// Accepts suffixed sizes: "128K", "1M".
+  std::uint64_t get_size(const std::string& key,
+                         std::uint64_t fallback) const;
+
+  std::size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tracer::util

@@ -1,0 +1,28 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace tracer::util {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[tracer:" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,60 @@
+// Minimal levelled logger. Thread-safe; writes to stderr by default so bench
+// table output on stdout stays machine-parsable.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tracer::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logger singleton. Usage:
+///   TRACER_LOG(kInfo) << "replayed " << n << " bunches";
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+/// RAII line builder; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tracer::util
+
+#define TRACER_LOG(level)                                              \
+  if (!::tracer::util::Logger::instance().enabled(                    \
+          ::tracer::util::LogLevel::level)) {                          \
+  } else                                                               \
+    ::tracer::util::LogLine(::tracer::util::LogLevel::level)

@@ -1,0 +1,30 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace tracer::util {
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; guard the log argument away from 0.
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,71 @@
+// Bounded single-producer/single-consumer lock-free ring buffer.
+//
+// Used by the real-time replayer: the issuing thread pushes completion
+// records, the monitoring thread drains them for per-cycle statistics.
+// Head/tail live on separate cache lines to avoid false sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace tracer::util {
+
+// Fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the library constant varies with -mtune and would silently change ABI.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2) for mask indexing.
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when full (caller decides: spin or drop).
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Approximate size (exact when called from either endpoint's thread).
+  std::size_t size_approx() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace tracer::util

@@ -1,0 +1,102 @@
+// Streaming statistics: Welford accumulators, fixed-bin histograms, and
+// time-binned series used by the performance monitor (per-sampling-cycle
+// IOPS/MBPS aggregation, §III-A2 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tracer::util {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+/// the edge bins so totals are conserved. Supports percentile queries for
+/// response-time reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  std::uint64_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Value at quantile q in [0,1], linearly interpolated within the bin.
+  double percentile(double q) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Accumulates (time, value) samples into fixed-duration bins — the
+/// "sampling cycle" of the paper (default 1 s). Each bin sums its samples;
+/// callers divide by the cycle length to get rates (IOPS, MBPS).
+class TimeBinnedSeries {
+ public:
+  explicit TimeBinnedSeries(double bin_width = 1.0);
+
+  void add(double t, double value);
+
+  double bin_width() const { return bin_width_; }
+  std::size_t size() const { return sums_.size(); }
+  bool empty() const { return sums_.empty(); }
+  double bin_sum(std::size_t i) const { return sums_.at(i); }
+  double bin_rate(std::size_t i) const { return sums_.at(i) / bin_width_; }
+  double bin_time(std::size_t i) const {
+    return (static_cast<double>(i) + 0.5) * bin_width_;
+  }
+
+  /// Sum across all bins.
+  double total() const;
+
+  /// Mean per-bin rate over bins [first, last) — used for steady-state
+  /// throughput excluding warm-up/tail.
+  double mean_rate(std::size_t first, std::size_t last) const;
+  double mean_rate() const { return mean_rate(0, sums_.size()); }
+
+  const std::vector<double>& sums() const { return sums_; }
+
+ private:
+  double bin_width_;
+  std::vector<double> sums_;
+};
+
+/// Pearson correlation between two equal-length series; the paper's claim
+/// that "power consumption is closely correlated with I/O throughput" is
+/// checked with this in tests.
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace tracer::util

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace tracer::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(const std::string& s) {
+  fields_.push_back(s);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(double v, int precision) {
+  fields_.push_back(format("%.*f", precision, v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(std::uint64_t v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(int v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+
+void Table::RowBuilder::done() { table_.add_row(std::move(fields_)); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,45 @@
+// Aligned ASCII table printer used by the bench harnesses to emit
+// paper-style tables (Table IV/V rows, figure series).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tracer::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> row);
+
+  /// Fluent numeric row builder mirroring CsvWriter::RowBuilder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& add(const std::string& s);
+    RowBuilder& add(double v, int precision = 3);
+    RowBuilder& add(std::uint64_t v);
+    RowBuilder& add(int v);
+    void done();
+
+   private:
+    Table& table_;
+    std::vector<std::string> fields_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tracer::util

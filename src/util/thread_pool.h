@@ -1,0 +1,65 @@
+// Fixed-size worker pool for fanning parameter sweeps across cores — the
+// in-process analogue of the paper's Fig 3 distributed deployment, where
+// multiple workload-generator machines drive independent arrays in parallel.
+//
+// Each submitted task is fully independent (its own Simulator instance), so
+// the pool needs no work stealing; a mutex-guarded deque is sufficient and
+// keeps the implementation auditable.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tracer::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace tracer::util

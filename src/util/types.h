@@ -1,0 +1,40 @@
+// Common scalar types and units used throughout TRACER.
+//
+// All simulation time is kept in double seconds (the trace formats the paper
+// uses store microsecond timestamps; we convert at the format boundary).
+// Sizes are bytes; device addresses are 512-byte sectors, matching blktrace.
+#pragma once
+
+#include <cstdint>
+
+namespace tracer {
+
+/// 512-byte sector address on a block device (blktrace convention).
+using Sector = std::uint64_t;
+
+/// Byte counts (request sizes, capacities).
+using Bytes = std::uint64_t;
+
+/// Simulation / trace time in seconds.
+using Seconds = double;
+
+/// Electrical power in watts.
+using Watts = double;
+
+/// Energy in joules.
+using Joules = double;
+
+inline constexpr Bytes kSectorSize = 512;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Direction of a block I/O request.
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/// Human-readable name ("R"/"W") for trace dumps.
+constexpr const char* to_string(OpType op) {
+  return op == OpType::kRead ? "R" : "W";
+}
+
+}  // namespace tracer

@@ -1,0 +1,74 @@
+#include "workload/cello_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/arrival_process.h"
+
+namespace tracer::workload {
+
+CelloModel::CelloModel(const CelloParams& params)
+    : params_(params), rng_(params.seed) {
+  if (!(params_.duration > 0.0) || !(params_.arrival_rate > 0.0)) {
+    throw std::invalid_argument("CelloModel: bad duration or rate");
+  }
+}
+
+Bytes CelloModel::sample_size() {
+  // The "uneven request sizes" mixture: small filesystem metadata/page I/O
+  // dominates by count, but a heavy tail of large sequential transfers
+  // (backups, swap clusters) dominates by bytes — a cello hallmark.
+  const double u = rng_.uniform();
+  if (u < 0.45) return 2 * kKiB;                       // fs metadata
+  if (u < 0.70) return 8 * kKiB;                       // page-sized I/O
+  if (u < 0.85) return 16 * kKiB * rng_.between(1, 4); // mid-size clusters
+  // Heavy tail: 64 KB .. 1 MB, Pareto-distributed.
+  const double tail = rng_.pareto(1.3, 64.0 * 1024.0);
+  const Bytes capped = std::min<Bytes>(static_cast<Bytes>(tail), kMiB);
+  return (capped / kSectorSize) * kSectorSize;
+}
+
+std::vector<trace::SrtRecord> CelloModel::generate_srt() {
+  std::vector<trace::SrtRecord> records;
+  sim::ParetoArrivals arrivals(params_.arrival_rate, params_.pareto_alpha);
+
+  const Bytes hot_span =
+      std::max<Bytes>(kMiB, static_cast<Bytes>(
+                                static_cast<double>(params_.device_span) *
+                                params_.hot_fraction));
+  Seconds t = 0.0;
+  Bytes last_end = 0;
+  bool have_last = false;
+  while (true) {
+    t += arrivals.next_gap(rng_);
+    if (t >= params_.duration) break;
+
+    trace::SrtRecord record;
+    record.time = t;
+    record.device = "cello-d4";
+    record.size = sample_size();
+    record.op =
+        rng_.chance(params_.read_ratio) ? OpType::kRead : OpType::kWrite;
+
+    if (have_last && rng_.chance(params_.sequential_run_prob) &&
+        last_end + record.size <= params_.device_span) {
+      record.start_byte = last_end;
+    } else if (rng_.chance(params_.hot_probability)) {
+      record.start_byte =
+          rng_.below(hot_span - record.size) / kSectorSize * kSectorSize;
+    } else {
+      record.start_byte = rng_.below(params_.device_span - record.size) /
+                          kSectorSize * kSectorSize;
+    }
+    last_end = record.start_byte + record.size;
+    have_last = true;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+trace::Trace CelloModel::generate() {
+  return trace::srt_to_blk(generate_srt(), 0.5e-3, "cello99");
+}
+
+}  // namespace tracer::workload

@@ -1,0 +1,49 @@
+// Synthetic stand-in for the HP cello99 SRT traces (§V-C2; the originals
+// ship from HP Labs in SRT format and are converted by the trace format
+// transformer before TRACER can replay them).
+//
+// cello is a timesharing HP-UX server: the published characterisations show
+// ~58 % reads, strongly *uneven* request sizes (the paper blames cello's
+// higher load-control error on exactly this), bursty arrivals, and a few
+// hot disks. The model emits SRT records natively so the srt -> blktrace
+// transformer runs in the real pipeline:
+//   generate_srt()  ->  srt_to_blk()  ->  replay.
+#pragma once
+
+#include <vector>
+
+#include "trace/srt_format.h"
+#include "util/rng.h"
+
+namespace tracer::workload {
+
+struct CelloParams {
+  Seconds duration = 600.0;
+  double read_ratio = 0.58;      ///< §V-C2: chosen cello99 file is 58 % read
+  double arrival_rate = 150.0;   ///< mean records/second
+  double pareto_alpha = 1.6;     ///< heavy-tailed gaps (bursts + lulls)
+  Bytes device_span = 8ULL * 1024 * 1024 * 1024;
+  double hot_fraction = 0.1;     ///< fraction of span taking most accesses
+  double hot_probability = 0.7;  ///< chance a record lands in the hot zone
+  double sequential_run_prob = 0.35;  ///< chance to continue the last run
+  std::uint64_t seed = 11;
+};
+
+class CelloModel {
+ public:
+  explicit CelloModel(const CelloParams& params);
+
+  /// Native SRT output (feed through srt_to_blk before replaying).
+  std::vector<trace::SrtRecord> generate_srt();
+
+  /// Convenience: generate + transform with the default bunch window.
+  trace::Trace generate();
+
+ private:
+  Bytes sample_size();
+
+  CelloParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace tracer::workload

@@ -1,0 +1,91 @@
+#include "workload/oltp_model.h"
+
+#include <stdexcept>
+
+#include "sim/arrival_process.h"
+#include "trace/bunching.h"
+
+namespace tracer::workload {
+
+OltpModel::OltpModel(const OltpParams& params)
+    : params_(params), rng_(params.seed) {
+  if (!(params_.duration > 0.0) || !(params_.tps > 0.0)) {
+    throw std::invalid_argument("OltpModel: bad duration or tps");
+  }
+  if (params_.page_size == 0 || params_.page_size % kSectorSize != 0) {
+    throw std::invalid_argument(
+        "OltpModel: page size must be a positive sector multiple");
+  }
+  if (!(params_.pages_per_txn >= 1.0)) {
+    throw std::invalid_argument("OltpModel: pages_per_txn must be >= 1");
+  }
+}
+
+trace::Trace OltpModel::generate() {
+  std::vector<trace::TimedPackage> packages;
+  const Sector page_sectors = params_.page_size / kSectorSize;
+  const std::uint64_t data_pages = params_.table_space / params_.page_size;
+  const Sector log_base = params_.table_space / kSectorSize;
+  const std::uint64_t log_pages = params_.log_space / params_.page_size;
+  ZipfSampler popularity(params_.zipf_skew, data_pages);
+  sim::PoissonArrivals arrivals(params_.tps);
+
+  Sector log_cursor = 0;  // WAL appends wrap within the log extent
+  Seconds last_commit_flush = -1.0;
+  std::vector<std::uint64_t> dirty;  // pages awaiting checkpoint
+
+  Seconds t = 0.0;
+  Seconds next_checkpoint = params_.checkpoint_period;
+  while (true) {
+    t += arrivals.next_gap(rng_);
+    if (t >= params_.duration) break;
+
+    // Checkpoint fires between transactions when its period elapses.
+    if (t >= next_checkpoint) {
+      const std::uint64_t burst =
+          std::min<std::uint64_t>(params_.checkpoint_pages, dirty.size());
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        trace::IoPackage pkg;
+        pkg.sector = dirty[dirty.size() - 1 - i] * page_sectors;
+        pkg.bytes = params_.page_size;
+        pkg.op = OpType::kWrite;
+        // Writebacks stream out over ~1 s, spaced evenly.
+        packages.emplace_back(
+            next_checkpoint + static_cast<double>(i) / burst, pkg);
+      }
+      dirty.resize(dirty.size() - burst);
+      next_checkpoint += params_.checkpoint_period;
+    }
+
+    // Data page accesses of one transaction (geometric count >= 1).
+    std::uint64_t touched = 1;
+    while (rng_.chance(1.0 - 1.0 / params_.pages_per_txn)) ++touched;
+    bool dirtied = false;
+    for (std::uint64_t p = 0; p < touched; ++p) {
+      const std::uint64_t page = popularity.sample(rng_) - 1;
+      trace::IoPackage pkg;
+      pkg.sector = page * page_sectors;
+      pkg.bytes = params_.page_size;
+      pkg.op = OpType::kRead;  // buffer pool misses read; updates go to WAL
+      packages.emplace_back(t, pkg);
+      if (rng_.chance(params_.update_fraction)) {
+        dirty.push_back(page);
+        dirtied = true;
+      }
+    }
+
+    // Group commit: one sequential WAL write per commit window.
+    if (dirtied && t - last_commit_flush >= params_.group_commit_window) {
+      trace::IoPackage wal;
+      wal.sector = log_base + (log_cursor % log_pages) * page_sectors;
+      wal.bytes = params_.page_size;
+      wal.op = OpType::kWrite;
+      packages.emplace_back(t, wal);
+      ++log_cursor;
+      last_commit_flush = t;
+    }
+  }
+  return trace::bunch_packages(std::move(packages), 1.0e-3, "oltp");
+}
+
+}  // namespace tracer::workload

@@ -1,0 +1,47 @@
+// OLTP trace synthesiser — the third real-world workload class of the
+// paper's Table I survey (PA/PB [27][28] and Hibernator [26] are evaluated
+// on OLTP traces; DRPM uses TPC-C). Models a transaction-processing
+// database's block stream:
+//   * small page I/O (a DBMS page size, default 8 KB) at high concurrency;
+//   * read-heavy data access against Zipf-hot tables, plus the dilution of
+//     an in-memory buffer pool (only misses reach storage);
+//   * a strictly sequential write-ahead log stream with group commits;
+//   * periodic checkpoint bursts of dirty-page writebacks.
+#pragma once
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+namespace tracer::workload {
+
+struct OltpParams {
+  Seconds duration = 300.0;
+  double tps = 120.0;              ///< transactions per second
+  Bytes page_size = 8 * kKiB;      ///< DBMS page
+  Bytes table_space = 20ULL * 1024 * 1024 * 1024;  ///< data extent
+  Bytes log_space = 2ULL * 1024 * 1024 * 1024;     ///< WAL extent (follows
+                                                   ///< the table space)
+  double pages_per_txn = 6.0;      ///< mean data pages touched (geometric)
+  double update_fraction = 0.35;   ///< fraction of touched pages dirtied
+  double zipf_skew = 0.9;          ///< hot-table popularity
+  Seconds checkpoint_period = 30.0;
+  std::uint64_t checkpoint_pages = 2000;  ///< writeback burst size
+  Seconds group_commit_window = 5e-3;     ///< WAL flush batching
+  std::uint64_t seed = 21;
+};
+
+class OltpModel {
+ public:
+  explicit OltpModel(const OltpParams& params);
+
+  trace::Trace generate();
+
+  const OltpParams& params() const { return params_; }
+
+ private:
+  OltpParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace tracer::workload

@@ -1,0 +1,89 @@
+#include "workload/web_server_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/bunching.h"
+
+namespace tracer::workload {
+
+WebServerModel::WebServerModel(const WebServerParams& params)
+    : params_(params), rng_(params.seed) {
+  if (params_.dataset > params_.fs_size) {
+    throw std::invalid_argument("WebServerModel: dataset exceeds fs size");
+  }
+  if (!(params_.duration > 0.0) || !(params_.session_rate > 0.0)) {
+    throw std::invalid_argument("WebServerModel: bad duration or rate");
+  }
+  build_objects();
+}
+
+void WebServerModel::build_objects() {
+  // Scatter lognormal-sized objects across the file-system span until the
+  // population covers the Table III dataset size.
+  const double mu = std::log(params_.mean_object_bytes) -
+                    0.5 * params_.object_sigma * params_.object_sigma;
+  Bytes placed = 0;
+  const Sector fs_sectors = params_.fs_size / kSectorSize;
+  while (placed < params_.dataset) {
+    double raw = std::exp(rng_.normal(mu, params_.object_sigma));
+    raw = std::clamp(raw, 4.0 * 1024.0, 64.0 * 1024.0 * 1024.0);
+    Bytes size = (static_cast<Bytes>(raw) / kSectorSize + 1) * kSectorSize;
+    size = std::min<Bytes>(size, params_.dataset - placed + kSectorSize);
+    const Sector max_start = fs_sectors - size / kSectorSize;
+    Object object;
+    object.sector = rng_.below(max_start);
+    object.bytes = size;
+    objects_.push_back(object);
+    placed += size;
+  }
+  // Shuffle so Zipf rank is uncorrelated with placement order.
+  for (std::size_t i = objects_.size(); i > 1; --i) {
+    std::swap(objects_[i - 1], objects_[rng_.below(i)]);
+  }
+}
+
+Bytes WebServerModel::sample_chunk_size() {
+  const double mu = std::log(params_.mean_chunk_bytes) -
+                    0.5 * params_.chunk_sigma * params_.chunk_sigma;
+  double raw = std::exp(rng_.normal(mu, params_.chunk_sigma));
+  raw = std::clamp(raw, 1024.0, 512.0 * 1024.0);
+  return (static_cast<Bytes>(raw) / kSectorSize + 1) * kSectorSize;
+}
+
+trace::Trace WebServerModel::generate() {
+  std::vector<trace::TimedPackage> packages;
+  ZipfSampler zipf(params_.zipf_skew, objects_.size());
+  sim::DiurnalArrivals arrivals(params_.session_rate, params_.diurnal_swing,
+                                params_.diurnal_period);
+
+  Seconds t = 0.0;
+  while (true) {
+    t += arrivals.next_gap(rng_);
+    if (t >= params_.duration) break;
+
+    const Object& object = objects_[zipf.sample(rng_) - 1];
+    const OpType op =
+        rng_.chance(params_.read_ratio) ? OpType::kRead : OpType::kWrite;
+
+    // Stream the object in sequential chunks.
+    Sector at = object.sector;
+    Bytes remaining = object.bytes;
+    Seconds chunk_time = t;
+    while (remaining > 0) {
+      const Bytes chunk = std::min<Bytes>(sample_chunk_size(), remaining);
+      trace::IoPackage pkg;
+      pkg.sector = at;
+      pkg.bytes = chunk;
+      pkg.op = op;
+      packages.emplace_back(chunk_time, pkg);
+      at += (chunk + kSectorSize - 1) / kSectorSize;
+      remaining -= chunk;
+      chunk_time += params_.intra_session_gap;
+    }
+  }
+  return trace::bunch_packages(std::move(packages), 1.0e-3, "web-server");
+}
+
+}  // namespace tracer::workload

@@ -1,0 +1,66 @@
+// Synthetic stand-in for the FIU web-server trace (§V-C2, Table III, the
+// real O4 machine trace is not redistributable). Matched to the published
+// first-order statistics:
+//   file-system size 169.54 GB, dataset 23.31 GB, read ratio 90.39 %,
+//   average request size 21.5 KB,
+// with weekly/diurnal intensity swings and bursty arrivals so Fig 12's
+// "shape preserved under load scaling" result is non-trivial.
+//
+// Model: a population of objects (files) with lognormal sizes is scattered
+// across the file-system span. Sessions pick an object by Zipf popularity
+// and stream it in sequential chunks; a small fraction of sessions are
+// writes (uploads/logs). Session starts follow a diurnally-modulated
+// Poisson process; chunks within a session land in the same or adjacent
+// bunches, reproducing web-server burstiness.
+#pragma once
+
+#include "sim/arrival_process.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+namespace tracer::workload {
+
+struct WebServerParams {
+  Seconds duration = 1800.0;        ///< trace length (Fig 12 replays 30 min)
+  Bytes fs_size = 169'540'000'000ULL;  ///< 169.54 GB span (Table III)
+  Bytes dataset = 23'310'000'000ULL;   ///< 23.31 GB of objects (Table III)
+  double read_ratio = 0.9039;
+  double mean_chunk_bytes = 21.5 * 1024.0;  ///< Table III average request
+  double chunk_sigma = 0.9;          ///< lognormal shape of chunk sizes
+  double mean_object_bytes = 256.0 * 1024.0;  ///< mean file size
+  double object_sigma = 1.2;
+  double zipf_skew = 0.8;            ///< object popularity skew
+  double session_rate = 30.0;        ///< mean session starts per second
+  double diurnal_swing = 0.6;        ///< day/night intensity amplitude
+  Seconds diurnal_period = 600.0;    ///< intensity cycle; 600 s makes the
+                                     ///< swing visible inside a 30-min trace
+  Seconds intra_session_gap = 2.0e-3;  ///< spacing of chunks in a session
+  std::uint64_t seed = 7;
+};
+
+class WebServerModel {
+ public:
+  explicit WebServerModel(const WebServerParams& params);
+
+  /// Generate the whole trace (bunches time-sorted, rebased to zero).
+  trace::Trace generate();
+
+  const WebServerParams& params() const { return params_; }
+  std::uint64_t object_count() const { return objects_.size(); }
+
+ private:
+  struct Object {
+    Sector sector;
+    Bytes bytes;
+  };
+
+  Bytes sample_chunk_size();
+  void build_objects();
+
+  WebServerParams params_;
+  util::Rng rng_;
+  std::vector<Object> objects_;
+};
+
+}  // namespace tracer::workload

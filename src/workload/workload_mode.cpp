@@ -1,0 +1,55 @@
+#include "workload/workload_mode.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tracer::workload {
+
+std::string WorkloadMode::to_string() const {
+  return util::format("rs=%s rnd=%d%% rd=%d%% load=%d%%",
+                      util::format_size(request_size).c_str(),
+                      static_cast<int>(std::lround(random_ratio * 100)),
+                      static_cast<int>(std::lround(read_ratio * 100)),
+                      static_cast<int>(std::lround(load_proportion * 100)));
+}
+
+trace::TraceKey WorkloadMode::trace_key(const std::string& device) const {
+  trace::TraceKey key;
+  key.device = device;
+  key.request_size = request_size;
+  key.random_pct = static_cast<int>(std::lround(random_ratio * 100));
+  key.read_pct = static_cast<int>(std::lround(read_ratio * 100));
+  return key;
+}
+
+const std::vector<Bytes>& grid_request_sizes() {
+  static const std::vector<Bytes> kSizes = {512, 4 * kKiB, 16 * kKiB,
+                                            64 * kKiB, kMiB};
+  return kSizes;
+}
+
+const std::vector<double>& grid_ratios() {
+  static const std::vector<double> kRatios = {0.0, 0.25, 0.50, 0.75, 1.0};
+  return kRatios;
+}
+
+std::vector<WorkloadMode> synthetic_grid() {
+  std::vector<WorkloadMode> modes;
+  modes.reserve(125);
+  for (const Bytes size : grid_request_sizes()) {
+    for (const double read : grid_ratios()) {
+      for (const double random : grid_ratios()) {
+        WorkloadMode mode;
+        mode.request_size = size;
+        mode.read_ratio = read;
+        mode.random_ratio = random;
+        mode.load_proportion = 1.0;
+        modes.push_back(mode);
+      }
+    }
+  }
+  return modes;
+}
+
+}  // namespace tracer::workload

@@ -1,0 +1,38 @@
+// Workload mode vector (§III-A1): "each workload mode is a vector that
+// consists of request size, random rate, read rate, and load proportion".
+// The 125-trace synthetic grid of §V-C1 enumerates 5 request sizes x 5 read
+// ratios x 5 random ratios; load proportion is applied at replay time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/repository.h"
+#include "util/types.h"
+
+namespace tracer::workload {
+
+struct WorkloadMode {
+  Bytes request_size = 4 * kKiB;
+  double random_ratio = 0.5;     ///< fraction of non-sequential requests
+  double read_ratio = 0.5;       ///< fraction of reads
+  double load_proportion = 1.0;  ///< replay intensity in (0, 1]
+
+  std::string to_string() const;
+
+  /// Repository key for the peak trace this mode is collected under (load
+  /// proportion is not part of the key: one peak trace serves all levels).
+  trace::TraceKey trace_key(const std::string& device) const;
+
+  friend bool operator==(const WorkloadMode&, const WorkloadMode&) = default;
+};
+
+/// §V-C1 parameter grid: request sizes 512 B … 1 MB, read ratios and random
+/// ratios 0 % … 100 % in 25 % steps -> 125 modes (load proportion left 1.0).
+std::vector<WorkloadMode> synthetic_grid();
+
+/// The request sizes / ratios used by the grid (shared with benches).
+const std::vector<Bytes>& grid_request_sizes();
+const std::vector<double>& grid_ratios();
+
+}  // namespace tracer::workload

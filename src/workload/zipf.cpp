@@ -1,0 +1,44 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tracer::workload {
+
+ZipfSampler::ZipfSampler(double s, std::uint64_t n) : s_(s), n_(n) {
+  if (!(s > 0.0) || n == 0) {
+    throw std::invalid_argument("ZipfSampler: need s > 0 and n >= 1");
+  }
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::h(double x) const {
+  // H(x) = (x^(1-s) - 1) / (1-s), with the s -> 1 limit log(x).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::sample(util::Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= h(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace tracer::workload

@@ -1,0 +1,37 @@
+// Zipf(s, N) sampler for object popularity in the web-server synthesiser.
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger ("Rejection-
+// inversion to generate variates from monotone discrete distributions"),
+// which is O(1) per sample for any N — a popularity table over millions of
+// objects would not fit the generator's cache budget.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace tracer::workload {
+
+class ZipfSampler {
+ public:
+  /// s: skew exponent (> 0, s != 1 handled too); n: number of items >= 1.
+  ZipfSampler(double s, std::uint64_t n);
+
+  /// Sample a rank in [1, n]; rank 1 is the most popular item.
+  std::uint64_t sample(util::Rng& rng) const;
+
+  double skew() const { return s_; }
+  std::uint64_t size() const { return n_; }
+
+ private:
+  double h(double x) const;          // H(x): integral of x^-s
+  double h_inverse(double x) const;  // H^-1
+
+  double s_;
+  std::uint64_t n_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace tracer::workload

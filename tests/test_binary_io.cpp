@@ -1,0 +1,90 @@
+#include "util/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tracer::util {
+namespace {
+
+TEST(BinaryIo, RoundTripsScalars) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFULL);
+  writer.f64(-123.456);
+  writer.str("hello");
+
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(reader.f64(), -123.456);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_TRUE(reader.at_eof());
+}
+
+TEST(BinaryIo, LittleEndianLayout) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.u32(0x01020304);
+  const std::string bytes = buffer.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(BinaryIo, SpecialDoubles) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.f64(0.0);
+  writer.f64(std::numeric_limits<double>::infinity());
+  writer.f64(1e-300);
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.f64(), 0.0);
+  EXPECT_EQ(reader.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(reader.f64(), 1e-300);
+}
+
+TEST(BinaryIo, EmptyString) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.str("");
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.str(), "");
+}
+
+TEST(BinaryIo, TruncatedInputThrows) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.u16(7);
+  BinaryReader reader(buffer);
+  EXPECT_NO_THROW(reader.u8());
+  EXPECT_NO_THROW(reader.u8());
+  EXPECT_THROW(reader.u8(), std::runtime_error);
+}
+
+TEST(BinaryIo, OversizedStringRejected) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.u32(1 << 30);  // bogus length prefix
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.str(/*max_size=*/1024), std::runtime_error);
+}
+
+TEST(BinaryIo, RawBlock) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  const char data[] = {'T', 'R', 'C', 'R'};
+  writer.raw(data, sizeof(data));
+  BinaryReader reader(buffer);
+  char out[4];
+  reader.raw(out, sizeof(out));
+  EXPECT_EQ(std::memcmp(out, data, 4), 0);
+}
+
+}  // namespace
+}  // namespace tracer::util

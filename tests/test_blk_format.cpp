@@ -1,0 +1,122 @@
+#include "trace/blk_format.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace tracer::trace {
+namespace {
+
+Trace random_trace(std::size_t bunches, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Trace trace;
+  trace.device = "raid5-hdd6";
+  for (std::size_t b = 0; b < bunches; ++b) {
+    Bunch bunch;
+    bunch.timestamp = static_cast<double>(b) * rng.uniform(0.5e-3, 2e-3);
+    const std::size_t count = 1 + rng.below(8);
+    for (std::size_t p = 0; p < count; ++p) {
+      IoPackage pkg;
+      pkg.sector = rng.below(1ULL << 40);
+      pkg.bytes = (1 + rng.below(256)) * 512;
+      pkg.op = rng.chance(0.5) ? OpType::kRead : OpType::kWrite;
+      bunch.packages.push_back(pkg);
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+TEST(BlkFormat, RoundTripsInMemory) {
+  const Trace original = random_trace(500, 42);
+  std::stringstream buffer;
+  write_blk(buffer, original);
+  const Trace loaded = read_blk(buffer);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(BlkFormat, RoundTripsEmptyTrace) {
+  Trace trace;
+  trace.device = "empty";
+  std::stringstream buffer;
+  write_blk(buffer, trace);
+  const Trace loaded = read_blk(buffer);
+  EXPECT_EQ(loaded, trace);
+}
+
+TEST(BlkFormat, RoundTripsViaFile) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_blk_test.replay";
+  const Trace original = random_trace(100, 7);
+  write_blk_file(path.string(), original);
+  const Trace loaded = read_blk_file(path.string());
+  EXPECT_EQ(loaded, original);
+  std::filesystem::remove(path);
+}
+
+TEST(BlkFormat, MissingFileThrows) {
+  EXPECT_THROW(read_blk_file("/nonexistent/t.replay"), std::runtime_error);
+}
+
+TEST(BlkFormat, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "JUNKJUNKJUNKJUNK";
+  EXPECT_THROW(read_blk(buffer), std::runtime_error);
+}
+
+TEST(BlkFormat, WrongVersionRejected) {
+  std::stringstream buffer;
+  buffer.write(kBlkMagic, 4);
+  buffer.put(static_cast<char>(99));  // version lo byte
+  buffer.put(0);
+  buffer << std::string(32, '\0');
+  EXPECT_THROW(read_blk(buffer), std::runtime_error);
+}
+
+TEST(BlkFormat, TruncatedPayloadThrows) {
+  const Trace original = random_trace(50, 3);
+  std::stringstream buffer;
+  write_blk(buffer, original);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::istringstream truncated(data);
+  EXPECT_THROW(read_blk(truncated), std::runtime_error);
+}
+
+TEST(BlkFormat, BadOpCodeRejected) {
+  Trace trace;
+  Bunch bunch;
+  bunch.packages.push_back(IoPackage{0, 512, OpType::kRead});
+  trace.bunches.push_back(bunch);
+  std::stringstream buffer;
+  write_blk(buffer, trace);
+  std::string data = buffer.str();
+  data.back() = 7;  // op byte is last
+  std::istringstream corrupted(data);
+  EXPECT_THROW(read_blk(corrupted), std::runtime_error);
+}
+
+TEST(BlkFormat, PreservesDeviceName) {
+  Trace trace;
+  trace.device = "raid5-ssd4_special";
+  std::stringstream buffer;
+  write_blk(buffer, trace);
+  EXPECT_EQ(read_blk(buffer).device, "raid5-ssd4_special");
+}
+
+TEST(BlkFormat, TimestampPrecisionSurvives) {
+  Trace trace;
+  Bunch bunch;
+  bunch.timestamp = 1234.56789012345;
+  bunch.packages.push_back(IoPackage{1, 512, OpType::kWrite});
+  trace.bunches.push_back(bunch);
+  std::stringstream buffer;
+  write_blk(buffer, trace);
+  EXPECT_DOUBLE_EQ(read_blk(buffer).bunches[0].timestamp, 1234.56789012345);
+}
+
+}  // namespace
+}  // namespace tracer::trace

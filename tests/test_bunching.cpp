@@ -1,0 +1,59 @@
+#include "trace/bunching.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::trace {
+namespace {
+
+TimedPackage pkg(Seconds t, Sector sector) {
+  return {t, IoPackage{sector, 4096, OpType::kRead}};
+}
+
+TEST(Bunching, EmptyInput) {
+  const Trace trace = bunch_packages({}, 1e-3, "dev");
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.device, "dev");
+}
+
+TEST(Bunching, SortsUnorderedInput) {
+  const Trace trace =
+      bunch_packages({pkg(5.0, 1), pkg(1.0, 2), pkg(3.0, 3)}, 1e-3, "dev");
+  ASSERT_EQ(trace.bunch_count(), 3u);
+  EXPECT_EQ(trace.bunches[0].packages[0].sector, 2u);
+  EXPECT_EQ(trace.bunches[1].packages[0].sector, 3u);
+  EXPECT_EQ(trace.bunches[2].packages[0].sector, 1u);
+}
+
+TEST(Bunching, RebasesToZero) {
+  const Trace trace = bunch_packages({pkg(10.0, 1), pkg(11.0, 2)}, 1e-3, "d");
+  EXPECT_DOUBLE_EQ(trace.bunches[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(trace.bunches[1].timestamp, 1.0);
+}
+
+TEST(Bunching, GroupsWithinWindow) {
+  const Trace trace = bunch_packages(
+      {pkg(0.0, 1), pkg(0.0004, 2), pkg(0.002, 3), pkg(0.0021, 4)}, 1e-3,
+      "d");
+  ASSERT_EQ(trace.bunch_count(), 2u);
+  EXPECT_EQ(trace.bunches[0].packages.size(), 2u);
+  EXPECT_EQ(trace.bunches[1].packages.size(), 2u);
+}
+
+TEST(Bunching, StableOrderForTiedTimes) {
+  const Trace trace =
+      bunch_packages({pkg(1.0, 10), pkg(1.0, 20), pkg(1.0, 30)}, 1e-3, "d");
+  ASSERT_EQ(trace.bunch_count(), 1u);
+  const auto& packages = trace.bunches[0].packages;
+  EXPECT_EQ(packages[0].sector, 10u);
+  EXPECT_EQ(packages[1].sector, 20u);
+  EXPECT_EQ(packages[2].sector, 30u);
+}
+
+TEST(Bunching, ZeroWindowSplitsDistinctInstants) {
+  const Trace trace =
+      bunch_packages({pkg(0.0, 1), pkg(1e-9, 2)}, 0.0, "d");
+  EXPECT_EQ(trace.bunch_count(), 2u);
+}
+
+}  // namespace
+}  // namespace tracer::trace

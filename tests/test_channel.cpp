@@ -1,0 +1,127 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tracer::net {
+namespace {
+
+Frame bytes(std::initializer_list<std::uint8_t> values) {
+  return Frame(values);
+}
+
+TEST(Channel, SendPollSameThread) {
+  auto [a, b] = make_channel();
+  EXPECT_TRUE(a.send(bytes({1, 2, 3})));
+  auto frame = b.poll();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, bytes({1, 2, 3}));
+  EXPECT_FALSE(b.poll().has_value());
+}
+
+TEST(Channel, DuplexDelivery) {
+  auto [a, b] = make_channel();
+  a.send(bytes({1}));
+  b.send(bytes({2}));
+  EXPECT_EQ(*b.poll(), bytes({1}));
+  EXPECT_EQ(*a.poll(), bytes({2}));
+}
+
+TEST(Channel, FramesStayOrdered) {
+  auto [a, b] = make_channel();
+  for (std::uint8_t i = 0; i < 10; ++i) a.send(bytes({i}));
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*b.poll())[0], i);
+  }
+}
+
+TEST(Channel, RecvTimesOutWhenEmpty) {
+  auto [a, b] = make_channel();
+  EXPECT_FALSE(b.recv(0.01).has_value());
+}
+
+TEST(Channel, RecvWakesOnCrossThreadSend) {
+  auto [a, b] = make_channel();
+  std::thread sender([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a.send(bytes({42}));
+  });
+  auto frame = b.recv(5.0);
+  sender.join();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ((*frame)[0], 42);
+}
+
+TEST(Channel, SendToClosedPeerFails) {
+  auto [a, b] = make_channel();
+  b.close();
+  EXPECT_FALSE(a.send(bytes({1})));
+}
+
+TEST(Channel, RecvReturnsPromptlyAfterPeerCloses) {
+  auto [a, b] = make_channel();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a.close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(b.recv(10.0).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  closer.join();
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+TEST(Channel, QueuedFramesReadableAfterPeerCloses) {
+  auto [a, b] = make_channel();
+  a.send(bytes({9}));
+  a.close();
+  auto frame = b.poll();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ((*frame)[0], 9);
+}
+
+TEST(Channel, MoveTransfersEndpoint) {
+  auto [a, b] = make_channel();
+  Endpoint moved = std::move(a);
+  EXPECT_FALSE(a.connected());
+  EXPECT_TRUE(moved.connected());
+  moved.send(bytes({5}));
+  EXPECT_EQ((*b.poll())[0], 5);
+}
+
+TEST(Channel, DisconnectedEndpointIsInert) {
+  Endpoint endpoint;
+  EXPECT_FALSE(endpoint.connected());
+  EXPECT_FALSE(endpoint.send(bytes({1})));
+  EXPECT_FALSE(endpoint.poll().has_value());
+  EXPECT_FALSE(endpoint.recv(0.01).has_value());
+}
+
+TEST(Channel, StressManyFramesAcrossThreads) {
+  auto [a, b] = make_channel();
+  constexpr int kCount = 10000;
+  std::thread producer([&a] {
+    for (int i = 0; i < kCount; ++i) {
+      Frame frame(4);
+      frame[0] = static_cast<std::uint8_t>(i);
+      frame[1] = static_cast<std::uint8_t>(i >> 8);
+      a.send(std::move(frame));
+    }
+  });
+  int received = 0;
+  while (received < kCount) {
+    if (auto frame = b.recv(5.0)) {
+      const int value = (*frame)[0] | ((*frame)[1] << 8);
+      ASSERT_EQ(value & 0xFFFF, received & 0xFFFF);
+      ++received;
+    } else {
+      break;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(received, kCount);
+}
+
+}  // namespace
+}  // namespace tracer::net

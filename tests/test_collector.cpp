@@ -1,0 +1,90 @@
+#include "trace/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::trace {
+namespace {
+
+storage::IoRequest request(Sector sector, Bytes bytes = 4096,
+                           OpType op = OpType::kRead) {
+  return storage::IoRequest{0, sector, bytes, op};
+}
+
+TEST(TraceCollector, GroupsSubmissionsWithinWindow) {
+  TraceCollector collector("dev", /*bunch_window=*/1e-3);
+  collector.on_submit(10.0, request(0));
+  collector.on_submit(10.0005, request(8));
+  collector.on_submit(10.002, request(16));  // outside the first window
+  const Trace trace = collector.finish();
+  ASSERT_EQ(trace.bunch_count(), 2u);
+  EXPECT_EQ(trace.bunches[0].packages.size(), 2u);
+  EXPECT_EQ(trace.bunches[1].packages.size(), 1u);
+}
+
+TEST(TraceCollector, RebasesTimestampsToZero) {
+  TraceCollector collector("dev");
+  collector.on_submit(100.0, request(0));
+  collector.on_submit(100.5, request(8));
+  const Trace trace = collector.finish();
+  EXPECT_DOUBLE_EQ(trace.bunches[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(trace.bunches[1].timestamp, 0.5);
+}
+
+TEST(TraceCollector, WindowAnchorsAtBunchStart) {
+  // Three submissions 0.8 ms apart: first two share a 1 ms window anchored
+  // at the first, the third starts a new bunch (1.6 ms > window).
+  TraceCollector collector("dev", 1e-3);
+  collector.on_submit(0.0, request(0));
+  collector.on_submit(0.0008, request(8));
+  collector.on_submit(0.0016, request(16));
+  const Trace trace = collector.finish();
+  EXPECT_EQ(trace.bunch_count(), 2u);
+}
+
+TEST(TraceCollector, PreservesRequestFields) {
+  TraceCollector collector("dev");
+  collector.on_submit(0.0, request(42, 8192, OpType::kWrite));
+  const Trace trace = collector.finish();
+  const IoPackage& pkg = trace.bunches[0].packages[0];
+  EXPECT_EQ(pkg.sector, 42u);
+  EXPECT_EQ(pkg.bytes, 8192u);
+  EXPECT_EQ(pkg.op, OpType::kWrite);
+}
+
+TEST(TraceCollector, RejectsTimeTravel) {
+  TraceCollector collector("dev");
+  collector.on_submit(5.0, request(0));
+  EXPECT_THROW(collector.on_submit(4.0, request(8)), std::logic_error);
+}
+
+TEST(TraceCollector, CountsPackages) {
+  TraceCollector collector("dev");
+  for (int i = 0; i < 10; ++i) {
+    collector.on_submit(i * 0.01, request(static_cast<Sector>(i) * 8));
+  }
+  EXPECT_EQ(collector.recorded_packages(), 10u);
+}
+
+TEST(TraceCollector, FinishResetsForReuse) {
+  TraceCollector collector("dev");
+  collector.on_submit(3.0, request(0));
+  const Trace first = collector.finish();
+  EXPECT_EQ(first.bunch_count(), 1u);
+  EXPECT_EQ(collector.recorded_packages(), 0u);
+  // Reuse with an earlier absolute time: allowed after finish.
+  collector.on_submit(1.0, request(8));
+  const Trace second = collector.finish();
+  EXPECT_EQ(second.bunch_count(), 1u);
+  EXPECT_DOUBLE_EQ(second.bunches[0].timestamp, 0.0);
+  EXPECT_EQ(second.device, "dev");
+}
+
+TEST(TraceCollector, EmptyFinishYieldsEmptyTrace) {
+  TraceCollector collector("dev");
+  const Trace trace = collector.finish();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.device, "dev");
+}
+
+}  // namespace
+}  // namespace tracer::trace

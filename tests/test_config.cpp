@@ -1,0 +1,95 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace tracer::util {
+namespace {
+
+TEST(Config, ParsesKeyValues) {
+  const Config cfg = Config::parse("a = 1\nb=hello\n");
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+}
+
+TEST(Config, SkipsCommentsAndBlanks) {
+  const Config cfg = Config::parse("# comment\n\n; also comment\nx=1\n");
+  EXPECT_EQ(cfg.size(), 1u);
+}
+
+TEST(Config, SectionsPrefixKeys) {
+  const Config cfg = Config::parse("[array]\ndisks = 6\n[power]\nvolts=220\n");
+  EXPECT_EQ(cfg.get_int("array.disks", 0), 6);
+  EXPECT_EQ(cfg.get_int("power.volts", 0), 220);
+  EXPECT_FALSE(cfg.contains("disks"));
+}
+
+TEST(Config, MalformedLinesThrowWithLineNumber) {
+  try {
+    Config::parse("good=1\nbad line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(Config::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("=value\n"), std::runtime_error);
+}
+
+TEST(Config, TypedGettersFallBack) {
+  const Config cfg = Config::parse("x=1\n");
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_EQ(cfg.get_size("missing", 128), 128u);
+  EXPECT_EQ(cfg.get_string("missing", "d"), "d");
+}
+
+TEST(Config, TypedGettersThrowOnMalformedPresent) {
+  const Config cfg = Config::parse("n=abc\nb=maybe\ns=12Q\n");
+  EXPECT_THROW(cfg.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(cfg.get_double("n", 0.0), std::runtime_error);
+  EXPECT_THROW(cfg.get_bool("b", false), std::runtime_error);
+  EXPECT_THROW(cfg.get_size("s", 0), std::runtime_error);
+}
+
+TEST(Config, BoolSpellings) {
+  const Config cfg =
+      Config::parse("a=true\nb=YES\nc=0\nd=off\ne=On\nf=FALSE\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_FALSE(cfg.get_bool("c", true));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+}
+
+TEST(Config, SizesWithSuffix) {
+  const Config cfg = Config::parse("stripe=128K\ncap=2G\n");
+  EXPECT_EQ(cfg.get_size("stripe", 0), 128u * 1024);
+  EXPECT_EQ(cfg.get_size("cap", 0), 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Config, SetOverrides) {
+  Config cfg = Config::parse("x=1\n");
+  cfg.set("x", "2");
+  EXPECT_EQ(cfg.get_int("x", 0), 2);
+}
+
+TEST(Config, LoadFromFile) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[hdd]\nidle_watts = 8.0\n";
+  }
+  const Config cfg = Config::load(path.string());
+  EXPECT_DOUBLE_EQ(cfg.get_double("hdd.idle_watts", 0.0), 8.0);
+  std::filesystem::remove(path);
+  EXPECT_THROW(Config::load(path.string()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tracer::util

@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tracer::util {
+namespace {
+
+std::string write_rows(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const auto& row : rows) writer.write_row(row);
+  return out.str();
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_rows({{"a", "b", "c"}}), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  EXPECT_EQ(write_rows({{"a,b"}}), "\"a,b\"\n");
+  EXPECT_EQ(write_rows({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(write_rows({{"line\nbreak"}}), "\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, RowBuilderTypes) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row()
+      .add("x")
+      .add(1.23456789, 3)
+      .add(std::uint64_t{42})
+      .add(std::int64_t{-7})
+      .done();
+  EXPECT_EQ(out.str(), "x,1.235,42,-7\n");
+}
+
+TEST(CsvReader, ParsesSimpleRows) {
+  const auto rows = CsvReader::parse("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, HandlesQuotedFields) {
+  const auto rows = CsvReader::parse("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvReader, HandlesCrlfAndMissingFinalNewline) {
+  const auto rows = CsvReader::parse("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, QuotedNewlineStaysInField) {
+  const auto rows = CsvReader::parse("\"x\ny\",z\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x\ny");
+}
+
+TEST(CsvReader, EmptyTrailingField) {
+  const auto rows = CsvReader::parse("a,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(CsvRoundTrip, WriterThenReader) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with \"quotes\""},
+      {"", "second\nline", "3.14"},
+  };
+  const auto parsed = CsvReader::parse(write_rows(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvReader, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvReader::load("/nonexistent/path/file.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvReader, LoadFromDisk) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "h1,h2\n1,2\n";
+  }
+  const auto rows = CsvReader::load(path.string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tracer::util

@@ -1,0 +1,172 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "util/csv.h"
+
+namespace tracer::db {
+namespace {
+
+TestRecord sample_record(const std::string& device = "raid5-hdd6",
+                         double load = 1.0) {
+  TestRecord record;
+  record.timestamp = "2026-07-07T00:00:00Z";
+  record.device = device;
+  record.trace_name = "raid5-hdd6_rs4K_rnd50_rd0.replay";
+  record.request_size = 4096;
+  record.random_ratio = 0.5;
+  record.read_ratio = 0.0;
+  record.load_proportion = load;
+  record.avg_amps = 0.36;
+  record.avg_volts = 220.1;
+  record.avg_watts = 79.5;
+  record.joules = 318.0;
+  record.iops = 123.4;
+  record.mbps = 0.505;
+  record.avg_response_ms = 18.2;
+  record.iops_per_watt = 1.552;
+  record.mbps_per_kilowatt = 6.35;
+  return record;
+}
+
+TEST(Database, InsertAssignsIncreasingIds) {
+  Database database;
+  const auto id1 = database.insert(sample_record());
+  const auto id2 = database.insert(sample_record());
+  EXPECT_LT(id1, id2);
+  EXPECT_EQ(database.size(), 2u);
+}
+
+TEST(Database, GetByIdAndMissingThrows) {
+  Database database;
+  const auto id = database.insert(sample_record());
+  EXPECT_EQ(database.get(id).device, "raid5-hdd6");
+  EXPECT_THROW(database.get(id + 100), std::out_of_range);
+}
+
+TEST(Database, QueryFiltersByFields) {
+  Database database;
+  database.insert(sample_record("hdd", 0.1));
+  database.insert(sample_record("hdd", 0.5));
+  database.insert(sample_record("ssd", 0.5));
+
+  Query by_device;
+  by_device.device = "hdd";
+  EXPECT_EQ(database.select(by_device).size(), 2u);
+
+  Query by_both;
+  by_both.device = "hdd";
+  by_both.load_proportion = 0.5;
+  EXPECT_EQ(database.select(by_both).size(), 1u);
+
+  Query none;
+  none.device = "tape";
+  EXPECT_TRUE(database.select(none).empty());
+}
+
+TEST(Database, QueryByEfficiencyThreshold) {
+  Database database;
+  TestRecord efficient = sample_record();
+  efficient.iops_per_watt = 10.0;
+  TestRecord wasteful = sample_record();
+  wasteful.iops_per_watt = 0.1;
+  database.insert(efficient);
+  database.insert(wasteful);
+  Query query;
+  query.min_iops_per_watt = 5.0;
+  const auto hits = database.select(query);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].iops_per_watt, 10.0);
+}
+
+TEST(Database, PredicateSelect) {
+  Database database;
+  database.insert(sample_record("a", 0.2));
+  database.insert(sample_record("b", 0.9));
+  const auto heavy = database.select(
+      [](const TestRecord& r) { return r.load_proportion > 0.5; });
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0].device, "b");
+}
+
+TEST(Database, SaveLoadRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_db_test.trdb";
+  Database database;
+  database.insert(sample_record("hdd", 0.3));
+  database.insert(sample_record("ssd", 0.7));
+  database.save(path.string());
+
+  const Database loaded = Database::open(path.string());
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.all(), database.all());
+  std::filesystem::remove(path);
+}
+
+TEST(Database, OpenMissingFileIsEmpty) {
+  const Database database = Database::open("/nonexistent/file.trdb");
+  EXPECT_EQ(database.size(), 0u);
+}
+
+TEST(Database, OpenCorruptFileThrows) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_db_corrupt.trdb";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GARBAGEGARBAGE";
+  }
+  EXPECT_THROW(Database::open(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Database, IdsContinueAfterReload) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_db_ids.trdb";
+  std::uint64_t last_id = 0;
+  {
+    Database database;
+    database.insert(sample_record());
+    last_id = database.insert(sample_record());
+    database.save(path.string());
+  }
+  Database reloaded = Database::open(path.string());
+  EXPECT_GT(reloaded.insert(sample_record()), last_id);
+  std::filesystem::remove(path);
+}
+
+TEST(Database, CsvExportHasHeaderAndRows) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_db_test.csv";
+  Database database;
+  database.insert(sample_record());
+  database.export_csv(path.string());
+  const auto rows = util::CsvReader::load(path.string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "test_id");
+  EXPECT_EQ(rows[1][2], "raid5-hdd6");
+  std::filesystem::remove(path);
+}
+
+TEST(Database, ConcurrentInsertsAreSafe) {
+  Database database;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&database] {
+      for (int i = 0; i < 250; ++i) database.insert(sample_record());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(database.size(), 1000u);
+  // All ids distinct.
+  std::set<std::uint64_t> ids;
+  for (const auto& record : database.all()) ids.insert(record.test_id);
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace tracer::db

@@ -1,0 +1,124 @@
+#include "storage/disk_array.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::storage {
+namespace {
+
+TEST(DiskArray, HddTestbedPreset) {
+  const ArrayConfig config = ArrayConfig::hdd_testbed(6);
+  EXPECT_EQ(config.disk_count, 6u);
+  EXPECT_EQ(config.kind, DiskKind::kHdd);
+  EXPECT_EQ(config.level, RaidLevel::kRaid5);
+  EXPECT_EQ(config.stripe_unit, 128 * kKiB);
+  EXPECT_EQ(config.name, "raid5-hdd6");
+}
+
+TEST(DiskArray, SsdTestbedIdlePowerIs195_8W) {
+  sim::Simulator sim;
+  DiskArray array(sim, ArrayConfig::ssd_testbed(4));
+  EXPECT_NEAR(array.power_at(0.0), 195.8, 1e-9);
+}
+
+TEST(DiskArray, IdlePowerLinearInDiskCount) {
+  std::vector<double> watts;
+  for (std::size_t disks = 0; disks <= 6; ++disks) {
+    sim::Simulator sim;
+    DiskArray array(sim, ArrayConfig::hdd_testbed(disks));
+    watts.push_back(array.power_at(0.0));
+  }
+  const double per_disk = watts[1] - watts[0];
+  EXPECT_GT(per_disk, 0.0);
+  for (std::size_t i = 1; i + 1 < watts.size(); ++i) {
+    EXPECT_NEAR(watts[i + 1] - watts[i], per_disk, 1e-9);
+  }
+  // Fig 7: beyond three disks, disk power exceeds the non-disk base.
+  EXPECT_GT(watts[4] - watts[0], watts[0]);
+}
+
+TEST(DiskArray, ZeroDiskEnclosureIsPowerOnlyDevice) {
+  sim::Simulator sim;
+  DiskArray array(sim, ArrayConfig::hdd_testbed(0));
+  EXPECT_NEAR(array.power_at(0.0), 30.0, 1e-9);
+  EXPECT_THROW(array.submit(IoRequest{1, 0, 4096, OpType::kRead},
+                            [](const IoCompletion&) {}),
+               std::logic_error);
+}
+
+TEST(DiskArray, CapacityReflectsRaid5Overhead) {
+  sim::Simulator sim;
+  DiskArray array(sim, ArrayConfig::hdd_testbed(6));
+  // 5/6 of the raw capacity, rounded to whole stripe rows.
+  const Bytes per_disk = HddParams{}.capacity;
+  EXPECT_NEAR(static_cast<double>(array.capacity()),
+              static_cast<double>(per_disk) * 5.0,
+              static_cast<double>(128 * kKiB * 6));
+}
+
+TEST(DiskArray, ServesIoEndToEnd) {
+  sim::Simulator sim;
+  DiskArray array(sim, ArrayConfig::hdd_testbed(6));
+  std::vector<IoCompletion> completions;
+  for (int i = 0; i < 8; ++i) {
+    array.submit(IoRequest{static_cast<std::uint64_t>(i),
+                           static_cast<Sector>(i) * 4096, 16 * kKiB,
+                           OpType::kRead},
+                 [&](const IoCompletion& c) { completions.push_back(c); });
+  }
+  sim.run();
+  EXPECT_EQ(completions.size(), 8u);
+  EXPECT_EQ(array.outstanding(), 0u);
+}
+
+TEST(DiskArray, ActiveEnergyAboveIdle) {
+  sim::Simulator sim;
+  DiskArray array(sim, ArrayConfig::hdd_testbed(6));
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    array.submit(IoRequest{static_cast<std::uint64_t>(i),
+                           rng.below(array.capacity() / kSectorSize - 64) /
+                               8 * 8,
+                           16 * kKiB, OpType::kWrite},
+                 [](const IoCompletion&) {});
+  }
+  const Seconds end = sim.run();
+  const Joules energy = array.energy_until(end);
+  const Joules idle_energy = array.power_at(end) > 0.0
+                                 ? (30.0 + 6 * HddParams{}.idle_watts) * end
+                                 : 0.0;
+  EXPECT_GT(energy, idle_energy);
+}
+
+TEST(DiskArray, PsuOverheadScalesPower) {
+  sim::Simulator sim;
+  ArrayConfig config = ArrayConfig::hdd_testbed(2);
+  config.psu_overhead_fraction = 0.10;
+  DiskArray array(sim, config);
+  EXPECT_NEAR(array.power_at(0.0), (30.0 + 16.0) * 1.10, 1e-9);
+}
+
+TEST(DiskArray, TwoDiskConfigFallsBackToRaid0) {
+  sim::Simulator sim;
+  DiskArray array(sim, ArrayConfig::hdd_testbed(2));
+  EXPECT_EQ(array.controller().geometry().level, RaidLevel::kRaid0);
+  EXPECT_EQ(array.disk_count(), 2u);
+}
+
+TEST(DiskArray, SeedsGiveIndependentButDeterministicDisks) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    ArrayConfig config = ArrayConfig::hdd_testbed(6);
+    config.seed = seed;
+    DiskArray array(sim, config);
+    Seconds finish = 0.0;
+    array.submit(IoRequest{1, 99999, 4096, OpType::kRead},
+                 [&](const IoCompletion& c) { finish = c.finish_time; });
+    sim.run();
+    return finish;
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));  // different rotational samples
+}
+
+}  // namespace
+}  // namespace tracer::storage

@@ -1,0 +1,123 @@
+#include "core/evaluation_host.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "workload/cello_model.h"
+
+namespace tracer::core {
+namespace {
+
+class EvaluationHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tracer_eval_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    options_.collection_duration = 1.0;
+    options_.threads = 2;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  workload::WorkloadMode mode(double load = 1.0) {
+    workload::WorkloadMode m;
+    m.request_size = 16 * kKiB;
+    m.random_ratio = 0.5;
+    m.read_ratio = 0.5;
+    m.load_proportion = load;
+    return m;
+  }
+
+  std::filesystem::path dir_;
+  EvaluationOptions options_;
+};
+
+TEST_F(EvaluationHostTest, PeakTraceCollectedOnceAndCached) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  const trace::Trace first = host.peak_trace(mode());
+  EXPECT_GT(first.bunch_count(), 0u);
+  EXPECT_TRUE(host.repository().contains(
+      mode().trace_key(host.array_config().name)));
+  const trace::Trace second = host.peak_trace(mode());
+  EXPECT_EQ(first, second);  // loaded from the repository, not regenerated
+}
+
+TEST_F(EvaluationHostTest, RunTestFillsFullDatabaseRecord) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  const TestResult result = host.run_test(mode(0.5));
+  const db::TestRecord& r = result.record;
+  EXPECT_GT(r.test_id, 0u);
+  EXPECT_FALSE(r.timestamp.empty());
+  EXPECT_EQ(r.device, "raid5-hdd6");
+  EXPECT_FALSE(r.trace_name.empty());
+  EXPECT_EQ(r.request_size, 16 * kKiB);
+  EXPECT_DOUBLE_EQ(r.load_proportion, 0.5);
+  EXPECT_GT(r.iops, 0.0);
+  EXPECT_GT(r.mbps, 0.0);
+  EXPECT_GT(r.avg_response_ms, 0.0);
+  EXPECT_GT(r.avg_watts, 70.0);  // idle is 78 W
+  EXPECT_GT(r.avg_volts, 200.0);
+  EXPECT_GT(r.avg_amps, 0.0);
+  EXPECT_GT(r.joules, 0.0);
+  EXPECT_GT(r.iops_per_watt, 0.0);
+  EXPECT_GT(r.mbps_per_kilowatt, 0.0);
+  EXPECT_EQ(host.database().size(), 1u);
+}
+
+TEST_F(EvaluationHostTest, LoadProportionScalesRecordedThroughput) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  const TestResult full = host.run_test(mode(1.0));
+  const TestResult fifth = host.run_test(mode(0.2));
+  EXPECT_NEAR(fifth.record.iops / full.record.iops, 0.2, 0.08);
+}
+
+TEST_F(EvaluationHostTest, RunTraceLabelsExternalWorkloads) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  workload::CelloParams params;
+  params.duration = 5.0;
+  workload::CelloModel cello(params);
+  const TestResult result = host.run_trace(cello.generate(), "cello99", 0.5);
+  EXPECT_EQ(result.record.trace_name, "cello99");
+  EXPECT_DOUBLE_EQ(result.record.load_proportion, 0.5);
+  EXPECT_NEAR(result.record.read_ratio, 0.58, 0.05);
+  EXPECT_GT(result.record.iops, 0.0);
+}
+
+TEST_F(EvaluationHostTest, SweepRunsAllModesInParallel) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  std::vector<workload::WorkloadMode> modes;
+  for (double load : {0.2, 0.4, 0.6, 0.8}) modes.push_back(mode(load));
+  const auto results = host.run_sweep(modes);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].record.load_proportion,
+                     modes[i].load_proportion);
+    EXPECT_GT(results[i].record.iops, 0.0);
+  }
+  // Throughput ordered by load.
+  EXPECT_LT(results[0].record.iops, results[3].record.iops);
+  EXPECT_EQ(host.database().size(), 4u);
+}
+
+TEST_F(EvaluationHostTest, RepositoryPersistsAcrossHosts) {
+  {
+    EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_,
+                        options_);
+    host.peak_trace(mode());
+  }
+  EvaluationHost second(storage::ArrayConfig::hdd_testbed(6), dir_,
+                        options_);
+  EXPECT_TRUE(second.repository().contains(
+      mode().trace_key(second.array_config().name)));
+}
+
+TEST_F(EvaluationHostTest, SsdArrayWorksEndToEnd) {
+  EvaluationHost host(storage::ArrayConfig::ssd_testbed(4), dir_, options_);
+  const TestResult result = host.run_test(mode(1.0));
+  EXPECT_GT(result.record.avg_watts, 190.0);  // chassis-dominated
+  EXPECT_GT(result.record.mbps, 1.0);
+}
+
+}  // namespace
+}  // namespace tracer::core

@@ -1,0 +1,71 @@
+#include "core/interarrival_scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::core {
+namespace {
+
+trace::Trace make_trace() {
+  trace::Trace trace;
+  trace.device = "dev";
+  for (int i = 0; i < 5; ++i) {
+    trace::Bunch bunch;
+    bunch.timestamp = i * 2.0;
+    bunch.packages.push_back(
+        trace::IoPackage{static_cast<Sector>(i), 4096, OpType::kRead});
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+TEST(InterarrivalScaler, DoubleIntensityHalvesTimestamps) {
+  const trace::Trace scaled = InterarrivalScaler::scale(make_trace(), 2.0);
+  ASSERT_EQ(scaled.bunch_count(), 5u);
+  EXPECT_DOUBLE_EQ(scaled.bunches[1].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.bunches[4].timestamp, 4.0);
+}
+
+TEST(InterarrivalScaler, FractionalIntensityStretches) {
+  // 1 % of original intensity (the Fig 2 extreme) -> 100x duration.
+  const trace::Trace scaled = InterarrivalScaler::scale(make_trace(), 0.01);
+  EXPECT_DOUBLE_EQ(scaled.duration(), 800.0);
+}
+
+TEST(InterarrivalScaler, KeepsEveryPackage) {
+  const trace::Trace original = make_trace();
+  const trace::Trace scaled = InterarrivalScaler::scale(original, 3.0);
+  EXPECT_EQ(scaled.package_count(), original.package_count());
+  for (std::size_t i = 0; i < original.bunches.size(); ++i) {
+    EXPECT_EQ(scaled.bunches[i].packages, original.bunches[i].packages);
+  }
+}
+
+TEST(InterarrivalScaler, UnitFactorIsIdentity) {
+  const trace::Trace original = make_trace();
+  EXPECT_EQ(InterarrivalScaler::scale(original, 1.0), original);
+}
+
+TEST(InterarrivalScaler, RejectsNonPositiveFactor) {
+  EXPECT_THROW(InterarrivalScaler::scale(make_trace(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(InterarrivalScaler::scale(make_trace(), -2.0),
+               std::invalid_argument);
+}
+
+TEST(InterarrivalScaler, ScaleToDurationHitsTarget) {
+  const trace::Trace scaled =
+      InterarrivalScaler::scale_to_duration(make_trace(), 4.0);
+  EXPECT_DOUBLE_EQ(scaled.duration(), 4.0);
+}
+
+TEST(InterarrivalScaler, ScaleToDurationValidation) {
+  EXPECT_THROW(InterarrivalScaler::scale_to_duration(make_trace(), 0.0),
+               std::invalid_argument);
+  // Zero-duration (single-bunch) traces pass through unchanged.
+  trace::Trace instant;
+  instant.bunches.push_back(trace::Bunch{});
+  EXPECT_EQ(InterarrivalScaler::scale_to_duration(instant, 10.0), instant);
+}
+
+}  // namespace
+}  // namespace tracer::core

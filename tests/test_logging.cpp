@@ -1,0 +1,81 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tracer::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = Logger::instance().level(); }
+  void TearDown() override { Logger::instance().set_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, ThresholdGatesLevels) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  Logger::instance().set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, MacroShortCircuitsWhenDisabled) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "costly";
+  };
+  TRACER_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream expression never evaluated
+  TRACER_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, StreamsArbitraryTypesToStderr) {
+  Logger::instance().set_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  TRACER_LOG(kInfo) << "replayed " << 42 << " bunches in " << 1.5 << " s";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[tracer:INFO] replayed 42 bunches in 1.5 s"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentWritersProduceWholeLines) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        TRACER_LOG(kInfo) << "thread-" << t << "-line-" << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  // Every line is intact: 200 prefixed lines, none interleaved mid-line.
+  std::size_t lines = 0;
+  std::size_t at = 0;
+  while ((at = output.find("[tracer:INFO] thread-", at)) !=
+         std::string::npos) {
+    ++lines;
+    at += 1;
+  }
+  EXPECT_EQ(lines, 200u);
+}
+
+}  // namespace
+}  // namespace tracer::util

@@ -1,0 +1,91 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::net {
+namespace {
+
+TEST(Message, SerializeDeserializeRoundTrip) {
+  Message original;
+  original.type = MessageType::kConfigureTest;
+  original.sequence = 42;
+  original.set("rs", "4K");
+  original.set_double("load", 0.3);
+  original.set_u64("count", 123456789);
+  const Message decoded = Message::deserialize(original.serialize());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Message, EmptyFieldsRoundTrip) {
+  Message original;
+  original.type = MessageType::kAck;
+  original.sequence = 1;
+  EXPECT_EQ(Message::deserialize(original.serialize()), original);
+}
+
+TEST(Message, TypedGetters) {
+  Message message;
+  message.set_double("d", 3.5);
+  message.set_u64("u", 99);
+  message.set("s", "text");
+  EXPECT_DOUBLE_EQ(*message.get_double("d"), 3.5);
+  EXPECT_EQ(*message.get_u64("u"), 99u);
+  EXPECT_EQ(*message.get("s"), "text");
+  EXPECT_FALSE(message.get("missing").has_value());
+  EXPECT_FALSE(message.get_double("s").has_value());
+  EXPECT_FALSE(message.get_u64("s").has_value());
+}
+
+TEST(Message, DoubleFieldsKeepPrecision) {
+  Message message;
+  message.set_double("v", 0.123456789);
+  EXPECT_NEAR(*message.get_double("v"), 0.123456789, 1e-9);
+}
+
+TEST(Message, UnknownTypeRejected) {
+  Message original = make_ack(1);
+  auto frame = original.serialize();
+  frame[0] = 0xFF;  // clobber the type field
+  frame[1] = 0xFF;
+  EXPECT_THROW(Message::deserialize(frame), std::runtime_error);
+}
+
+TEST(Message, TruncatedFrameRejected) {
+  Message original;
+  original.type = MessageType::kPerfResult;
+  original.set("key", "value");
+  auto frame = original.serialize();
+  frame.resize(frame.size() - 3);
+  EXPECT_THROW(Message::deserialize(frame), std::runtime_error);
+}
+
+TEST(Message, MakeAckAndError) {
+  const Message ack = make_ack(7);
+  EXPECT_EQ(ack.type, MessageType::kAck);
+  EXPECT_EQ(ack.sequence, 7u);
+  const Message error = make_error(9, "kaboom");
+  EXPECT_EQ(error.type, MessageType::kError);
+  EXPECT_EQ(*error.get("reason"), "kaboom");
+}
+
+TEST(Message, AllTypesHaveNames) {
+  for (MessageType type : {
+           MessageType::kAck, MessageType::kError,
+           MessageType::kConfigureTest, MessageType::kStartTest,
+           MessageType::kStopTest, MessageType::kPerfResult,
+           MessageType::kProgress, MessageType::kPowerInit,
+           MessageType::kPowerStart, MessageType::kPowerStop,
+           MessageType::kPowerResult,
+       }) {
+    EXPECT_STRNE(to_string(type), "UNKNOWN");
+  }
+}
+
+TEST(Message, BinaryFrameIsCompact) {
+  const Message ack = make_ack(1);
+  // type(2) + seq(4) + count(4) = 10 bytes.
+  EXPECT_EQ(ack.serialize().size(), 10u);
+}
+
+}  // namespace
+}  // namespace tracer::net

@@ -1,0 +1,117 @@
+#include "net/messenger.h"
+
+#include <gtest/gtest.h>
+
+#include "power/power_timeline.h"
+
+namespace tracer::net {
+namespace {
+
+class FakeSource final : public power::PowerSource {
+ public:
+  explicit FakeSource(Watts base) : timeline_(base) {}
+  std::string name() const override { return "fake-array"; }
+  Watts power_at(Seconds t) const override { return timeline_.power_at(t); }
+  Joules energy_until(Seconds t) override { return timeline_.energy_until(t); }
+
+ private:
+  power::PowerTimeline timeline_;
+};
+
+power::HallSensorParams perfect_sensor() {
+  power::HallSensorParams params;
+  params.noise_relative = 0.0;
+  params.gain_sigma = 0.0;
+  params.offset_watts = 0.0;
+  params.quantum_watts = 0.0;
+  params.voltage_ripple = 0.0;
+  return params;
+}
+
+Message command(MessageType type, std::uint32_t sequence) {
+  Message message;
+  message.type = type;
+  message.sequence = sequence;
+  return message;
+}
+
+TEST(Messenger, StartBeforeInitIsRejected) {
+  FakeSource source(50.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  const Message reply = messenger.handle(command(MessageType::kPowerStart, 1),
+                                         /*now=*/0.0);
+  EXPECT_EQ(reply.type, MessageType::kError);
+}
+
+TEST(Messenger, InitStartStopFlowReportsPower) {
+  FakeSource source(50.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+
+  EXPECT_EQ(messenger.handle(command(MessageType::kPowerInit, 1), 0.0).type,
+            MessageType::kAck);
+  EXPECT_EQ(messenger.handle(command(MessageType::kPowerStart, 2), 0.0).type,
+            MessageType::kAck);
+  for (int t = 1; t <= 5; ++t) analyzer.sample_at(t);
+  const Message result =
+      messenger.handle(command(MessageType::kPowerStop, 3), 5.0);
+  EXPECT_EQ(result.type, MessageType::kPowerResult);
+  EXPECT_EQ(result.sequence, 3u);
+  EXPECT_EQ(*result.get_u64("channels"), 1u);
+  EXPECT_EQ(*result.get("ch0.name"), "fake-array");
+  EXPECT_NEAR(*result.get_double("ch0.watts"), 50.0, 1e-6);
+  EXPECT_NEAR(*result.get_double("ch0.joules"), 250.0, 1e-6);
+  EXPECT_NEAR(*result.get_double("ch0.volts"), 220.0, 1e-6);
+  EXPECT_NEAR(*result.get_double("ch0.amps"), 50.0 / 220.0, 1e-6);
+  EXPECT_EQ(*result.get_u64("ch0.samples"), 5u);
+}
+
+TEST(Messenger, MultiChannelResult) {
+  FakeSource a(10.0);
+  FakeSource b(20.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(a);
+  analyzer.add_channel(b);
+  Messenger messenger(analyzer);
+  messenger.handle(command(MessageType::kPowerInit, 1), 0.0);
+  messenger.handle(command(MessageType::kPowerStart, 2), 0.0);
+  analyzer.sample_at(1.0);
+  const Message result =
+      messenger.handle(command(MessageType::kPowerStop, 3), 1.0);
+  EXPECT_EQ(*result.get_u64("channels"), 2u);
+  EXPECT_NEAR(*result.get_double("ch0.watts"), 10.0, 1e-6);
+  EXPECT_NEAR(*result.get_double("ch1.watts"), 20.0, 1e-6);
+}
+
+TEST(Messenger, UnsupportedCommandIsError) {
+  FakeSource source(1.0);
+  power::PowerAnalyzer analyzer(1.0);
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  const Message reply =
+      messenger.handle(command(MessageType::kConfigureTest, 4), 0.0);
+  EXPECT_EQ(reply.type, MessageType::kError);
+  EXPECT_NE(reply.get("reason")->find("CONFIGURE_TEST"), std::string::npos);
+}
+
+TEST(Messenger, InitResetsPriorRun) {
+  FakeSource source(30.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  messenger.handle(command(MessageType::kPowerInit, 1), 0.0);
+  messenger.handle(command(MessageType::kPowerStart, 2), 0.0);
+  analyzer.sample_at(1.0);
+  messenger.handle(command(MessageType::kPowerInit, 3), 1.0);  // reset
+  messenger.handle(command(MessageType::kPowerStart, 4), 1.0);
+  analyzer.sample_at(2.0);
+  const Message result =
+      messenger.handle(command(MessageType::kPowerStop, 5), 2.0);
+  EXPECT_EQ(*result.get_u64("ch0.samples"), 1u);
+}
+
+}  // namespace
+}  // namespace tracer::net

@@ -1,0 +1,49 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::core {
+namespace {
+
+TEST(Metrics, EfficiencyDefinitions) {
+  const EfficiencyMetrics metrics = compute_efficiency(800.0, 40.0, 80.0);
+  EXPECT_DOUBLE_EQ(metrics.iops_per_watt, 10.0);
+  EXPECT_DOUBLE_EQ(metrics.mbps_per_kilowatt, 500.0);
+}
+
+TEST(Metrics, EfficiencyRejectsNonPositivePower) {
+  EXPECT_THROW(compute_efficiency(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(compute_efficiency(1.0, 1.0, -5.0), std::invalid_argument);
+}
+
+TEST(Metrics, LoadProportionEquationOne) {
+  // LP(f, f') = T(f') / T(f).
+  EXPECT_DOUBLE_EQ(load_proportion(1000.0, 300.0), 0.3);
+  EXPECT_DOUBLE_EQ(load_proportion(500.0, 500.0), 1.0);
+  EXPECT_THROW(load_proportion(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Metrics, AccuracyEquationTwo) {
+  // A(f, f') = LP / LP_config; ideal is 1.
+  EXPECT_DOUBLE_EQ(load_control_accuracy(0.3, 0.3), 1.0);
+  EXPECT_NEAR(load_control_accuracy(0.2938, 0.3), 0.9793, 1e-4);
+  EXPECT_THROW(load_control_accuracy(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Metrics, LoadControlRowCombinesBothThroughputs) {
+  const LoadControlRow row =
+      make_load_control_row(0.5, 1000.0, 10.0, 510.0, 4.9);
+  EXPECT_DOUBLE_EQ(row.configured, 0.5);
+  EXPECT_DOUBLE_EQ(row.measured_iops_lp, 0.51);
+  EXPECT_DOUBLE_EQ(row.measured_mbps_lp, 0.49);
+  EXPECT_DOUBLE_EQ(row.accuracy_iops, 1.02);
+  EXPECT_DOUBLE_EQ(row.accuracy_mbps, 0.98);
+}
+
+TEST(Metrics, PaperTableIVFirstRowReproducible) {
+  // Table IV row 1: configured 10, measured 9.9266 -> accuracy 0.99266.
+  EXPECT_NEAR(load_control_accuracy(0.099266, 0.10), 0.99266, 1e-6);
+}
+
+}  // namespace
+}  // namespace tracer::core

@@ -1,0 +1,134 @@
+#include "workload/oltp_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/replay_engine.h"
+#include "storage/disk_array.h"
+#include "trace/trace_stats.h"
+
+namespace tracer::workload {
+namespace {
+
+OltpParams small_params() {
+  OltpParams params;
+  params.duration = 30.0;
+  params.tps = 80.0;
+  params.table_space = 2ULL * 1024 * 1024 * 1024;
+  params.log_space = 256ULL * 1024 * 1024;
+  params.seed = 3;
+  return params;
+}
+
+TEST(OltpModel, RejectsBadParameters) {
+  OltpParams params = small_params();
+  params.duration = 0.0;
+  EXPECT_THROW(OltpModel{params}, std::invalid_argument);
+  params = small_params();
+  params.page_size = 1000;  // not sector-aligned
+  EXPECT_THROW(OltpModel{params}, std::invalid_argument);
+  params = small_params();
+  params.pages_per_txn = 0.5;
+  EXPECT_THROW(OltpModel{params}, std::invalid_argument);
+}
+
+TEST(OltpModel, AllRequestsArePageSized) {
+  OltpModel model(small_params());
+  const trace::Trace trace = model.generate();
+  ASSERT_GT(trace.package_count(), 1000u);
+  for (const auto& bunch : trace.bunches) {
+    for (const auto& pkg : bunch.packages) {
+      EXPECT_EQ(pkg.bytes, small_params().page_size);
+    }
+  }
+}
+
+TEST(OltpModel, ReadHeavyWithWalAndCheckpointWrites) {
+  OltpModel model(small_params());
+  const trace::Trace trace = model.generate();
+  const double read_ratio = trace.read_ratio();
+  // Data reads dominate; WAL + checkpoints contribute a visible write tail.
+  EXPECT_GT(read_ratio, 0.6);
+  EXPECT_LT(read_ratio, 0.95);
+}
+
+TEST(OltpModel, WalWritesAreSequentialInLogExtent) {
+  OltpParams params = small_params();
+  OltpModel model(params);
+  const trace::Trace trace = model.generate();
+  const Sector log_base = params.table_space / kSectorSize;
+  Sector last_wal = 0;
+  bool seen = false;
+  std::size_t wal_count = 0;
+  std::size_t in_order = 0;
+  for (const auto& bunch : trace.bunches) {
+    for (const auto& pkg : bunch.packages) {
+      if (pkg.op != OpType::kWrite || pkg.sector < log_base) continue;
+      ++wal_count;
+      if (seen && pkg.sector > last_wal) ++in_order;
+      last_wal = pkg.sector;
+      seen = true;
+    }
+  }
+  ASSERT_GT(wal_count, 100u);
+  // Monotone except for extent wrap-around.
+  EXPECT_GT(static_cast<double>(in_order) / wal_count, 0.95);
+}
+
+TEST(OltpModel, CheckpointsCreatePeriodicWriteBursts) {
+  OltpParams params = small_params();
+  params.checkpoint_period = 10.0;
+  OltpModel model(params);
+  const trace::Trace trace = model.generate();
+  const Sector log_base = params.table_space / kSectorSize;
+  // Bin data-extent writes per second; checkpoint seconds dominate.
+  std::vector<double> bins(static_cast<std::size_t>(params.duration) + 1,
+                           0.0);
+  for (const auto& bunch : trace.bunches) {
+    for (const auto& pkg : bunch.packages) {
+      if (pkg.op != OpType::kWrite || pkg.sector >= log_base) continue;
+      bins[static_cast<std::size_t>(bunch.timestamp)] += 1.0;
+    }
+  }
+  double burst = 0.0;
+  double quiet = 0.0;
+  for (std::size_t s = 0; s < bins.size(); ++s) {
+    if (s % 10 == 0 && s > 0) burst += bins[s];
+    else quiet += bins[s];
+  }
+  EXPECT_GT(burst, quiet);
+}
+
+TEST(OltpModel, HotPagesDominateFootprint) {
+  // A compact table re-references hot pages heavily: bytes moved must far
+  // exceed the touched footprint.
+  OltpParams params = small_params();
+  params.duration = 60.0;
+  params.table_space = 128ULL * 1024 * 1024;
+  params.log_space = 64ULL * 1024 * 1024;
+  OltpModel model(params);
+  const trace::Trace trace = model.generate();
+  const auto stats = trace::compute_stats(trace);
+  EXPECT_LT(stats.dataset_bytes, stats.total_bytes / 2);
+}
+
+TEST(OltpModel, DeterministicForSeed) {
+  OltpModel a(small_params());
+  OltpModel b(small_params());
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(OltpModel, ReplaysOnTestbedEndToEnd) {
+  OltpParams params = small_params();
+  params.duration = 10.0;
+  OltpModel model(params);
+  const trace::Trace trace = model.generate();
+  core::ReplayEngine engine;
+  storage::DiskArray array(engine.simulator(),
+                           storage::ArrayConfig::hdd_testbed(6));
+  const core::ReplayReport report = engine.replay(trace, array);
+  EXPECT_EQ(report.perf.completions, trace.package_count());
+  EXPECT_GT(report.efficiency.iops_per_watt, 0.0);
+}
+
+}  // namespace
+}  // namespace tracer::workload

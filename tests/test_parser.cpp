@@ -1,0 +1,63 @@
+#include "net/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::net {
+namespace {
+
+TEST(Parser, ParsesCommandWithFields) {
+  const Message message =
+      Parser::parse_command("CONFIGURE_TEST rs=4K rnd=50 rd=0 load=30");
+  EXPECT_EQ(message.type, MessageType::kConfigureTest);
+  EXPECT_EQ(*message.get("rs"), "4K");
+  EXPECT_EQ(*message.get("load"), "30");
+  EXPECT_EQ(message.fields.size(), 4u);
+}
+
+TEST(Parser, ParsesBareCommand) {
+  const Message message = Parser::parse_command("START_TEST");
+  EXPECT_EQ(message.type, MessageType::kStartTest);
+  EXPECT_TRUE(message.fields.empty());
+}
+
+TEST(Parser, ToleratesExtraWhitespace) {
+  const Message message = Parser::parse_command("  POWER_INIT   ch=0  ");
+  EXPECT_EQ(message.type, MessageType::kPowerInit);
+  EXPECT_EQ(*message.get("ch"), "0");
+}
+
+TEST(Parser, RejectsUnknownCommand) {
+  EXPECT_THROW(Parser::parse_command("EXPLODE now=yes"), std::runtime_error);
+  EXPECT_THROW(Parser::parse_command(""), std::runtime_error);
+  EXPECT_THROW(Parser::parse_command("   "), std::runtime_error);
+}
+
+TEST(Parser, RejectsMalformedFields) {
+  EXPECT_THROW(Parser::parse_command("START_TEST novalue"),
+               std::runtime_error);
+  EXPECT_THROW(Parser::parse_command("START_TEST =empty"),
+               std::runtime_error);
+}
+
+TEST(Parser, FormatsMessageBack) {
+  Message message;
+  message.type = MessageType::kPowerResult;
+  message.set("watts", "81.2");
+  message.set("amps", "0.37");
+  EXPECT_EQ(Parser::format_message(message),
+            "POWER_RESULT amps=0.37 watts=81.2");
+}
+
+TEST(Parser, RoundTripsThroughBothDirections) {
+  const std::string line = "CONFIGURE_TEST load=50 rd=25 rnd=0 rs=16K";
+  const Message message = Parser::parse_command(line);
+  EXPECT_EQ(Parser::format_message(message), line);
+}
+
+TEST(Parser, ValueMayContainEqualsSign) {
+  const Message message = Parser::parse_command("PROGRESS note=a=b");
+  EXPECT_EQ(*message.get("note"), "a=b");
+}
+
+}  // namespace
+}  // namespace tracer::net

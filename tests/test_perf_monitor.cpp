@@ -1,0 +1,96 @@
+#include "core/perf_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::core {
+namespace {
+
+storage::IoCompletion completion(Seconds submit, Seconds finish, Bytes bytes,
+                                 OpType op = OpType::kRead) {
+  return storage::IoCompletion{0, submit, finish, bytes, op};
+}
+
+TEST(PerfMonitor, EmptyReportIsZero) {
+  PerfMonitor monitor;
+  const PerfReport report = monitor.report();
+  EXPECT_EQ(report.completions, 0u);
+  EXPECT_EQ(report.iops, 0.0);
+  EXPECT_EQ(report.mbps, 0.0);
+  EXPECT_EQ(report.avg_response_ms, 0.0);
+}
+
+TEST(PerfMonitor, RatesOverExplicitWindow) {
+  PerfMonitor monitor;
+  for (int i = 0; i < 100; ++i) {
+    monitor.on_complete(
+        completion(i * 0.1, i * 0.1 + 0.005, 1000000));  // 1 MB each
+  }
+  const PerfReport report = monitor.report(10.0);
+  EXPECT_EQ(report.completions, 100u);
+  EXPECT_DOUBLE_EQ(report.iops, 10.0);
+  EXPECT_DOUBLE_EQ(report.mbps, 10.0);
+  EXPECT_DOUBLE_EQ(report.duration, 10.0);
+}
+
+TEST(PerfMonitor, DefaultWindowIsLastCompletion) {
+  PerfMonitor monitor;
+  monitor.on_complete(completion(0.0, 2.0, 500));
+  monitor.on_complete(completion(1.0, 4.0, 500));
+  const PerfReport report = monitor.report();
+  EXPECT_DOUBLE_EQ(report.duration, 4.0);
+  EXPECT_DOUBLE_EQ(report.iops, 0.5);
+}
+
+TEST(PerfMonitor, ResponseTimeStatistics) {
+  PerfMonitor monitor;
+  monitor.on_complete(completion(0.0, 0.010, 512));  // 10 ms
+  monitor.on_complete(completion(0.0, 0.020, 512));  // 20 ms
+  monitor.on_complete(completion(0.0, 0.030, 512));  // 30 ms
+  const PerfReport report = monitor.report(1.0);
+  EXPECT_NEAR(report.avg_response_ms, 20.0, 1e-9);
+  EXPECT_NEAR(report.max_response_ms, 30.0, 1e-9);
+  // p95 interpolates within the 5 ms histogram bin holding the 30 ms
+  // sample, so it may land anywhere in [30, 35).
+  EXPECT_GE(report.p95_response_ms, 20.0);
+  EXPECT_LE(report.p95_response_ms, 35.0);
+}
+
+TEST(PerfMonitor, SeriesBinsBySamplingCycle) {
+  PerfMonitor monitor(1.0);
+  monitor.on_complete(completion(0.0, 0.5, 2000000));
+  monitor.on_complete(completion(0.0, 0.6, 2000000));
+  monitor.on_complete(completion(0.0, 2.5, 2000000));
+  const PerfReport report = monitor.report(3.0);
+  ASSERT_EQ(report.iops_series.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.iops_series[0], 2.0);
+  EXPECT_DOUBLE_EQ(report.iops_series[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.iops_series[2], 1.0);
+  EXPECT_DOUBLE_EQ(report.mbps_series[0], 4.0);
+}
+
+TEST(PerfMonitor, CustomCycleWidth) {
+  PerfMonitor monitor(0.5);
+  monitor.on_complete(completion(0.0, 0.25, 1000000));
+  const PerfReport report = monitor.report(0.5);
+  ASSERT_EQ(report.iops_series.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.iops_series[0], 2.0);  // 1 op / 0.5 s
+}
+
+TEST(PerfMonitor, ResetClearsEverything) {
+  PerfMonitor monitor;
+  monitor.on_complete(completion(0.0, 1.0, 512));
+  monitor.reset();
+  EXPECT_EQ(monitor.completions(), 0u);
+  const PerfReport report = monitor.report();
+  EXPECT_EQ(report.completions, 0u);
+  EXPECT_TRUE(report.iops_series.empty());
+}
+
+TEST(PerfMonitor, MbpsUsesDecimalMegabytes) {
+  PerfMonitor monitor;
+  monitor.on_complete(completion(0.0, 0.5, 1000000));
+  EXPECT_DOUBLE_EQ(monitor.report(1.0).mbps, 1.0);
+}
+
+}  // namespace
+}  // namespace tracer::core

@@ -1,0 +1,155 @@
+#include "storage/raid.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace tracer::storage {
+namespace {
+
+RaidGeometry testbed_geometry(std::size_t disks = 6) {
+  return RaidGeometry(RaidLevel::kRaid5, disks, 128 * kKiB,
+                      500ULL * 1000 * 1000 * 1000);
+}
+
+TEST(RaidGeometry, RejectsInvalidConfigurations) {
+  EXPECT_THROW(RaidGeometry(RaidLevel::kRaid5, 2, 128 * kKiB, kGiB),
+               std::invalid_argument);
+  EXPECT_THROW(RaidGeometry(RaidLevel::kRaid0, 0, 128 * kKiB, kGiB),
+               std::invalid_argument);
+  EXPECT_THROW(RaidGeometry(RaidLevel::kRaid5, 4, 0, kGiB),
+               std::invalid_argument);
+  EXPECT_THROW(RaidGeometry(RaidLevel::kRaid5, 4, 100, kGiB),
+               std::invalid_argument);  // not sector multiple
+  EXPECT_THROW(RaidGeometry(RaidLevel::kRaid5, 4, kMiB, 1024),
+               std::invalid_argument);  // capacity < unit
+}
+
+TEST(RaidGeometry, CapacityExcludesParity) {
+  const auto geometry = testbed_geometry(6);
+  EXPECT_EQ(geometry.data_disks(), 5u);
+  EXPECT_EQ(geometry.capacity(), geometry.rows() * geometry.stripe_unit * 5);
+
+  RaidGeometry raid0(RaidLevel::kRaid0, 6, 128 * kKiB,
+                     500ULL * 1000 * 1000 * 1000);
+  EXPECT_EQ(raid0.data_disks(), 6u);
+  EXPECT_GT(raid0.capacity(), geometry.capacity());
+}
+
+TEST(RaidGeometry, ParityRotatesThroughAllDisks) {
+  const auto geometry = testbed_geometry(6);
+  std::set<std::size_t> parity_disks;
+  for (std::uint64_t row = 0; row < 6; ++row) {
+    const std::size_t pd = geometry.parity_disk(row);
+    EXPECT_LT(pd, 6u);
+    parity_disks.insert(pd);
+  }
+  EXPECT_EQ(parity_disks.size(), 6u);  // left-symmetric full rotation
+  EXPECT_EQ(geometry.parity_disk(0), 5u);
+  EXPECT_EQ(geometry.parity_disk(1), 4u);
+  EXPECT_EQ(geometry.parity_disk(6), 5u);  // period = disk count
+}
+
+TEST(RaidGeometry, Raid0HasNoParityDisk) {
+  RaidGeometry raid0(RaidLevel::kRaid0, 4, 128 * kKiB, kGiB);
+  EXPECT_THROW(raid0.parity_disk(0), std::logic_error);
+}
+
+TEST(RaidGeometry, MapSplitsAtStripeUnitBoundaries) {
+  const auto geometry = testbed_geometry(6);
+  // 300 KB starting 64 KB into unit 0: 64K + 128K + 108K.
+  const auto extents = geometry.map(64 * kKiB, 300 * kKiB);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0].bytes, 64 * kKiB);
+  EXPECT_EQ(extents[1].bytes, 128 * kKiB);
+  EXPECT_EQ(extents[2].bytes, 108 * kKiB);
+  EXPECT_EQ(extents[0].offset_in_unit, 64 * kKiB);
+  EXPECT_EQ(extents[1].offset_in_unit, 0u);
+}
+
+TEST(RaidGeometry, MapRejectsBeyondCapacity) {
+  const auto geometry = testbed_geometry(6);
+  EXPECT_THROW(geometry.map(geometry.capacity() - 4096, 8192),
+               std::out_of_range);
+}
+
+TEST(RaidGeometry, DataNeverLandsOnParityDisk) {
+  const auto geometry = testbed_geometry(6);
+  for (std::uint64_t unit = 0; unit < 600; ++unit) {
+    const auto extents =
+        geometry.map(unit * geometry.stripe_unit, geometry.stripe_unit);
+    ASSERT_EQ(extents.size(), 1u);
+    EXPECT_NE(extents[0].disk, geometry.parity_disk(extents[0].row));
+  }
+}
+
+TEST(RaidGeometry, RowFillsEveryNonParityDiskExactlyOnce) {
+  const auto geometry = testbed_geometry(6);
+  for (std::uint64_t row = 0; row < 20; ++row) {
+    std::set<std::size_t> disks;
+    for (std::size_t position = 0; position < geometry.data_disks();
+         ++position) {
+      const Bytes addr =
+          (row * geometry.data_disks() + position) * geometry.stripe_unit;
+      const auto extents = geometry.map(addr, geometry.stripe_unit);
+      ASSERT_EQ(extents.size(), 1u);
+      EXPECT_EQ(extents[0].row, row);
+      disks.insert(extents[0].disk);
+    }
+    disks.insert(geometry.parity_disk(row));
+    EXPECT_EQ(disks.size(), geometry.disk_count);  // full coverage, no dup
+  }
+}
+
+TEST(RaidGeometry, MappingIsInjectivePerDiskSector) {
+  // Property: distinct logical units never collide on (disk, sector).
+  const auto geometry = testbed_geometry(5);
+  std::map<std::pair<std::size_t, Sector>, Bytes> seen;
+  for (std::uint64_t unit = 0; unit < 1000; ++unit) {
+    const Bytes addr = unit * geometry.stripe_unit;
+    const auto extents = geometry.map(addr, geometry.stripe_unit);
+    ASSERT_EQ(extents.size(), 1u);
+    const auto key = std::make_pair(extents[0].disk, extents[0].sector);
+    ASSERT_EQ(seen.count(key), 0u) << "collision at logical unit " << unit;
+    seen[key] = addr;
+  }
+}
+
+TEST(RaidGeometry, MapPreservesTotalBytes) {
+  const auto geometry = testbed_geometry(6);
+  // Property sweep over odd sizes and offsets.
+  for (Bytes offset : {0ULL, 512ULL, 4096ULL, 130048ULL, 262144ULL}) {
+    for (Bytes size : {512ULL, 4096ULL, 65536ULL, 131072ULL, 1048576ULL}) {
+      const auto extents = geometry.map(offset, size);
+      Bytes total = 0;
+      for (const auto& extent : extents) total += extent.bytes;
+      EXPECT_EQ(total, size);
+    }
+  }
+}
+
+TEST(RaidGeometry, ParityExtentMatchesRowAndOffset) {
+  const auto geometry = testbed_geometry(6);
+  const auto parity = geometry.parity_extent(3, 4096, 8192);
+  EXPECT_EQ(parity.disk, geometry.parity_disk(3));
+  EXPECT_EQ(parity.sector, (3 * geometry.stripe_unit + 4096) / kSectorSize);
+  EXPECT_EQ(parity.bytes, 8192u);
+  EXPECT_EQ(parity.row, 3u);
+}
+
+TEST(RaidGeometry, SequentialUnitsRotateAcrossDisks) {
+  // Consecutive logical units in one row land on distinct disks (striping).
+  const auto geometry = testbed_geometry(6);
+  std::set<std::size_t> disks;
+  for (std::size_t position = 0; position < geometry.data_disks();
+       ++position) {
+    const auto extents = geometry.map(position * geometry.stripe_unit,
+                                      geometry.stripe_unit);
+    disks.insert(extents[0].disk);
+  }
+  EXPECT_EQ(disks.size(), geometry.data_disks());
+}
+
+}  // namespace
+}  // namespace tracer::storage

@@ -1,0 +1,126 @@
+#include "core/remote.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+namespace tracer::core {
+namespace {
+
+class RemoteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tracer_remote_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    options_.collection_duration = 0.5;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  workload::WorkloadMode mode(double load = 0.5) {
+    workload::WorkloadMode m;
+    m.request_size = 16 * kKiB;
+    m.random_ratio = 0.5;
+    m.read_ratio = 0.5;
+    m.load_proportion = load;
+    return m;
+  }
+
+  std::filesystem::path dir_;
+  EvaluationOptions options_;
+};
+
+TEST_F(RemoteTest, ModeEncodingRoundTrips) {
+  const workload::WorkloadMode original = mode(0.3);
+  const auto decoded = decode_mode(encode_mode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST_F(RemoteTest, ModeDecodingRejectsIncompleteMessages) {
+  net::Message message;
+  message.type = net::MessageType::kConfigureTest;
+  message.set_u64("request_size", 4096);
+  EXPECT_FALSE(decode_mode(message).has_value());
+}
+
+TEST_F(RemoteTest, RecordEncodingRoundTrips) {
+  db::TestRecord record;
+  record.device = "raid5-hdd6";
+  record.trace_name = "trace";
+  record.request_size = 4096;
+  record.load_proportion = 0.4;
+  record.avg_watts = 81.25;
+  record.iops = 432.1;
+  record.mbps = 1.77;
+  record.iops_per_watt = 5.32;
+  const auto decoded = decode_record(encode_record(record));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->device, record.device);
+  EXPECT_NEAR(decoded->avg_watts, record.avg_watts, 1e-6);
+  EXPECT_NEAR(decoded->iops, record.iops, 1e-4);
+  EXPECT_NEAR(decoded->iops_per_watt, record.iops_per_watt, 1e-6);
+}
+
+TEST_F(RemoteTest, ServiceHandlesConfigureThenStart) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  WorkloadGeneratorService service(host);
+
+  net::Message configure = encode_mode(mode());
+  configure.sequence = 1;
+  EXPECT_EQ(service.handle(configure).type, net::MessageType::kAck);
+
+  net::Message start;
+  start.type = net::MessageType::kStartTest;
+  start.sequence = 2;
+  const net::Message reply = service.handle(start);
+  EXPECT_EQ(reply.type, net::MessageType::kPerfResult);
+  const auto record = decode_record(reply);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_GT(record->iops, 0.0);
+}
+
+TEST_F(RemoteTest, StartWithoutConfigureIsError) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  WorkloadGeneratorService service(host);
+  net::Message start;
+  start.type = net::MessageType::kStartTest;
+  start.sequence = 1;
+  EXPECT_EQ(service.handle(start).type, net::MessageType::kError);
+}
+
+TEST_F(RemoteTest, FullClientServerExchangeOverChannel) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  auto [client_end, server_end] = net::make_channel();
+  net::Communicator client(std::move(client_end));
+  net::Communicator server(std::move(server_end));
+
+  WorkloadGeneratorService service(host);
+  std::thread server_thread([&service, &server] { service.serve(server); });
+
+  RemoteWorkloadClient remote(client);
+  EXPECT_TRUE(remote.configure(mode(0.5)));
+  const auto record = remote.start(60.0);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->device, "raid5-hdd6");
+  EXPECT_GT(record->iops, 0.0);
+  EXPECT_DOUBLE_EQ(record->load_proportion, 0.5);
+  remote.stop();
+  server_thread.join();
+  EXPECT_EQ(host.database().size(), 1u);
+}
+
+TEST_F(RemoteTest, ServiceStopsOnPeerHangup) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  auto [client_end, server_end] = net::make_channel();
+  net::Communicator server(std::move(server_end));
+  WorkloadGeneratorService service(host);
+  std::thread server_thread([&service, &server] { service.serve(server); });
+  client_end.close();
+  server_thread.join();  // must return promptly, not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tracer::core

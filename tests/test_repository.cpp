@@ -1,0 +1,101 @@
+#include "trace/repository.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace tracer::trace {
+namespace {
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tracer_repo_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+Trace tiny_trace() {
+  Trace trace;
+  trace.device = "raid5-hdd6";
+  Bunch bunch;
+  bunch.timestamp = 0.0;
+  bunch.packages.push_back(IoPackage{0, 4096, OpType::kRead});
+  trace.bunches.push_back(bunch);
+  return trace;
+}
+
+TEST(TraceKey, FileNameEncodesAllFields) {
+  TraceKey key{"raid5-hdd6", 4096, 50, 25};
+  EXPECT_EQ(key.file_name(), "raid5-hdd6_rs4K_rnd50_rd25.replay");
+}
+
+TEST(TraceKey, ParseRoundTripsFileName) {
+  for (const TraceKey& key : {
+           TraceKey{"raid5-hdd6", 4096, 50, 25},
+           TraceKey{"ssd", 512, 0, 100},
+           TraceKey{"dev_with_underscore", 1048576, 100, 0},
+       }) {
+    const auto parsed = TraceKey::parse(key.file_name());
+    ASSERT_TRUE(parsed.has_value()) << key.file_name();
+    EXPECT_EQ(*parsed, key);
+  }
+}
+
+TEST(TraceKey, ParseRejectsForeignNames) {
+  EXPECT_FALSE(TraceKey::parse("notes.txt").has_value());
+  EXPECT_FALSE(TraceKey::parse("x.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("a_rs4K_rnd50.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("a_rsXX_rnd50_rd0.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("a_rs4K_rnd200_rd0.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("_rs4K_rnd50_rd0.replay").has_value());
+}
+
+TEST_F(RepositoryTest, StoreLoadRoundTrip) {
+  TraceRepository repo(dir_);
+  const TraceKey key{"raid5-hdd6", 4096, 50, 0};
+  const Trace trace = tiny_trace();
+  EXPECT_FALSE(repo.contains(key));
+  repo.store(key, trace);
+  EXPECT_TRUE(repo.contains(key));
+  EXPECT_EQ(repo.load(key), trace);
+}
+
+TEST_F(RepositoryTest, LoadMissingThrows) {
+  TraceRepository repo(dir_);
+  EXPECT_THROW(repo.load(TraceKey{"x", 512, 0, 0}), std::runtime_error);
+}
+
+TEST_F(RepositoryTest, ListReturnsSortedKeysAndSkipsForeignFiles) {
+  TraceRepository repo(dir_);
+  repo.store(TraceKey{"b", 4096, 50, 0}, tiny_trace());
+  repo.store(TraceKey{"a", 512, 0, 100}, tiny_trace());
+  { std::ofstream junk(dir_ / "README.txt"); junk << "hi"; }
+  const auto keys = repo.list();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].device, "a");
+  EXPECT_EQ(keys[1].device, "b");
+}
+
+TEST_F(RepositoryTest, StoreOverwritesExisting) {
+  TraceRepository repo(dir_);
+  const TraceKey key{"dev", 4096, 0, 0};
+  repo.store(key, tiny_trace());
+  Trace bigger = tiny_trace();
+  bigger.bunches.push_back(bigger.bunches[0]);
+  repo.store(key, bigger);
+  EXPECT_EQ(repo.load(key).bunch_count(), 2u);
+}
+
+TEST_F(RepositoryTest, CreatesDirectoryOnConstruction) {
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+  TraceRepository repo(dir_ / "nested" / "deeper");
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "nested" / "deeper"));
+}
+
+}  // namespace
+}  // namespace tracer::trace

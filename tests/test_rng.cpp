@@ -1,0 +1,158 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tracer::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 9.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, BelowCoversFullRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[rng.below(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  for (int i = 0; i < 200000; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / 200000.0, 2.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoMinimumAndMean) {
+  Rng rng(37);
+  // alpha=2, xm=1 -> mean = alpha*xm/(alpha-1) = 2.
+  double sum = 0.0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.pareto(2.0, 1.0);
+    ASSERT_GE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng rng(41);
+  Rng split = rng.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.next() == split.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(43);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace tracer::util

@@ -1,0 +1,79 @@
+#include "util/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tracer::util {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  SpscQueue<int> q2(1);
+  EXPECT_EQ(q2.capacity(), 2u);
+}
+
+TEST(SpscQueue, PushPopFifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, FullQueueRejectsPush) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.size_approx(), 4u);
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(99));
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<int> q(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+  EXPECT_TRUE(q.empty_approx());
+}
+
+TEST(SpscQueue, MovesNonCopyableTypes) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesSequence) {
+  SpscQueue<std::uint64_t> q(1024);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&q] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty_approx());
+}
+
+}  // namespace
+}  // namespace tracer::util

@@ -1,0 +1,112 @@
+#include "trace/srt_format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tracer::trace {
+namespace {
+
+TEST(SrtFormat, ParsesWellFormedLines) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "0.001000 cello-d4 4096 8192 R\n"
+      "0.002500 cello-d4 0 512 w\n");
+  const auto records = parse_srt(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].time, 0.001);
+  EXPECT_EQ(records[0].device, "cello-d4");
+  EXPECT_EQ(records[0].start_byte, 4096u);
+  EXPECT_EQ(records[0].size, 8192u);
+  EXPECT_EQ(records[0].op, OpType::kRead);
+  EXPECT_EQ(records[1].op, OpType::kWrite);
+}
+
+TEST(SrtFormat, AcceptsWordOps) {
+  std::istringstream in("1.0 d 0 512 read\n2.0 d 0 512 WRITE\n");
+  const auto records = parse_srt(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].op, OpType::kRead);
+  EXPECT_EQ(records[1].op, OpType::kWrite);
+}
+
+TEST(SrtFormat, RejectsMalformedLinesWithLineNumbers) {
+  auto expect_throw_mentioning = [](const std::string& text,
+                                    const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      parse_srt(in);
+      FAIL() << "expected throw for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw_mentioning("0.1 d 0 512\n", "5 fields");
+  expect_throw_mentioning("abc d 0 512 R\n", "bad time");
+  expect_throw_mentioning("-1 d 0 512 R\n", "bad time");
+  expect_throw_mentioning("0.1 d x 512 R\n", "bad start");
+  expect_throw_mentioning("0.1 d 0 0 R\n", "bad size");
+  expect_throw_mentioning("0.1 d 0 512 Q\n", "bad op");
+  expect_throw_mentioning("0.05 d 0 512 R\n0.1 d 0 512 Q\n", "line 2");
+}
+
+TEST(SrtFormat, WriteParseRoundTrip) {
+  std::vector<SrtRecord> records = {
+      {0.5, "devA", 1024, 4096, OpType::kRead},
+      {1.25, "devB", 0, 512, OpType::kWrite},
+  };
+  std::ostringstream out;
+  write_srt(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = parse_srt(in);
+  EXPECT_EQ(parsed, records);
+}
+
+TEST(SrtToBlk, GroupsConcurrentRecordsIntoBunches) {
+  std::vector<SrtRecord> records = {
+      {0.0000, "d", 0, 512, OpType::kRead},
+      {0.0002, "d", 512, 512, OpType::kRead},   // within 0.5 ms window
+      {0.0100, "d", 1024, 512, OpType::kWrite},  // new bunch
+  };
+  const Trace trace = srt_to_blk(records, 0.5e-3, "imported");
+  EXPECT_EQ(trace.device, "imported");
+  ASSERT_EQ(trace.bunch_count(), 2u);
+  EXPECT_EQ(trace.bunches[0].packages.size(), 2u);
+  EXPECT_EQ(trace.bunches[1].packages.size(), 1u);
+}
+
+TEST(SrtToBlk, ConvertsBytesToSectors) {
+  std::vector<SrtRecord> records = {{0.0, "d", 4096, 8192, OpType::kRead}};
+  const Trace trace = srt_to_blk(records);
+  EXPECT_EQ(trace.bunches[0].packages[0].sector, 8u);
+  EXPECT_EQ(trace.bunches[0].packages[0].bytes, 8192u);
+}
+
+TEST(SrtToBlk, RejectsUnsortedInput) {
+  std::vector<SrtRecord> records = {
+      {1.0, "d", 0, 512, OpType::kRead},
+      {0.5, "d", 0, 512, OpType::kRead},
+  };
+  EXPECT_THROW(srt_to_blk(records), std::runtime_error);
+}
+
+TEST(SrtToBlk, EmptyInputYieldsEmptyTrace) {
+  const Trace trace = srt_to_blk({});
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(SrtToBlk, PreservesOperationMix) {
+  std::vector<SrtRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({i * 0.01, "d", static_cast<Bytes>(i) * 4096, 4096,
+                       i % 4 == 0 ? OpType::kWrite : OpType::kRead});
+  }
+  const Trace trace = srt_to_blk(records);
+  EXPECT_EQ(trace.package_count(), 100u);
+  EXPECT_NEAR(trace.read_ratio(), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace tracer::trace

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tracer::util {
+namespace {
+
+std::string render(Table& table) {
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"a", "long-header"});
+  table.add_row({"xxxx", "y"});
+  const std::string text = render(table);
+  // Every line must have the same length (aligned grid).
+  std::istringstream in(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, HeaderRuleAndRowCount) {
+  Table table({"h1", "h2"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string text = render(table);
+  EXPECT_NE(text.find("h1"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_NE(text.find("| 3"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string text = render(table);
+  // Renders without crashing; row has empty trailing cells.
+  EXPECT_NE(text.find("only"), std::string::npos);
+}
+
+TEST(Table, RowBuilderFormatsNumbers) {
+  Table table({"s", "d", "u", "i"});
+  table.row().add("x").add(3.14159, 2).add(std::uint64_t{9}).add(-4).done();
+  const std::string text = render(table);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_EQ(text.find("3.142"), std::string::npos);
+  EXPECT_NE(text.find("-4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tracer::util

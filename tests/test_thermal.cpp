@@ -1,0 +1,144 @@
+#include "power/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/power_timeline.h"
+
+namespace tracer::power {
+namespace {
+
+class FakeSource final : public PowerSource {
+ public:
+  explicit FakeSource(Watts base) : timeline_(base) {}
+  PowerTimeline& timeline() { return timeline_; }
+  std::string name() const override { return "fake"; }
+  Watts power_at(Seconds t) const override { return timeline_.power_at(t); }
+  Joules energy_until(Seconds t) override { return timeline_.energy_until(t); }
+
+ private:
+  PowerTimeline timeline_;
+};
+
+TEST(ThermalNode, RejectsBadParameters) {
+  ThermalParams params;
+  params.resistance_c_per_w = 0.0;
+  EXPECT_THROW(ThermalNode{params}, std::invalid_argument);
+  params = ThermalParams{};
+  params.capacitance_j_per_c = -1.0;
+  EXPECT_THROW(ThermalNode{params}, std::invalid_argument);
+}
+
+TEST(ThermalNode, StartsAtAmbient) {
+  ThermalParams params;
+  ThermalNode node(params);
+  EXPECT_DOUBLE_EQ(node.temperature_c(), params.ambient_c);
+}
+
+TEST(ThermalNode, ConvergesToEquilibrium) {
+  ThermalParams params;
+  ThermalNode node(params);
+  const Watts watts = 10.0;
+  for (int i = 0; i < 100000; ++i) node.step(1.0, watts);
+  EXPECT_NEAR(node.temperature_c(), node.equilibrium_c(watts), 1e-6);
+  EXPECT_NEAR(node.equilibrium_c(watts),
+              params.ambient_c + watts * params.resistance_c_per_w, 1e-12);
+}
+
+TEST(ThermalNode, TimeConstantBehaviour) {
+  // After one time constant, the node covers (1 - 1/e) of the gap.
+  ThermalParams params;
+  ThermalNode node(params);
+  const double tau =
+      params.resistance_c_per_w * params.capacitance_j_per_c;
+  const Watts watts = 10.0;
+  node.step(tau, watts);
+  const double expected =
+      node.equilibrium_c(watts) +
+      (params.ambient_c - node.equilibrium_c(watts)) * std::exp(-1.0);
+  EXPECT_NEAR(node.temperature_c(), expected, 1e-9);
+}
+
+TEST(ThermalNode, StepIsCompositional) {
+  // Two half-steps equal one full step at constant power.
+  ThermalParams params;
+  ThermalNode one(params);
+  ThermalNode two(params);
+  one.step(10.0, 8.0);
+  two.step(5.0, 8.0);
+  two.step(5.0, 8.0);
+  EXPECT_NEAR(one.temperature_c(), two.temperature_c(), 1e-12);
+}
+
+TEST(ThermalNode, CoolsBackTowardAmbient) {
+  ThermalParams params;
+  ThermalNode node(params);
+  node.step(10000.0, 12.0);  // heat to equilibrium
+  const double hot = node.temperature_c();
+  node.step(10000.0, 0.0);   // power off
+  EXPECT_LT(node.temperature_c(), hot);
+  EXPECT_NEAR(node.temperature_c(), params.ambient_c, 1e-3);
+}
+
+TEST(ThermalNode, ReliabilityDeratingDoublesPerStep) {
+  ThermalParams params;
+  params.nominal_c = 40.0;
+  params.afr_doubling_c = 15.0;
+  ThermalNode node(params);
+  node.step(1e9, (40.0 - params.ambient_c) / params.resistance_c_per_w);
+  EXPECT_NEAR(node.reliability_derating(), 1.0, 1e-6);
+  node.step(1e9, (55.0 - params.ambient_c) / params.resistance_c_per_w);
+  EXPECT_NEAR(node.reliability_derating(), 2.0, 1e-6);
+}
+
+TEST(ThermalMonitor, TracksConstantSourceToEquilibrium) {
+  FakeSource source(10.0);
+  ThermalParams params;
+  ThermalMonitor monitor(source, params, 1.0);
+  monitor.start(0.0);
+  for (int t = 1; t <= 5000; ++t) {
+    monitor.sample_at(static_cast<double>(t));
+  }
+  EXPECT_NEAR(monitor.current_c(), params.ambient_c + 10.0 * 0.6, 0.01);
+  EXPECT_EQ(monitor.samples().size(), 5000u);
+  EXPECT_GT(monitor.max_c(), monitor.mean_c());
+}
+
+TEST(ThermalMonitor, PulseRaisesThenDecays) {
+  FakeSource source(5.0);
+  source.timeline().add_pulse(10.0, 60.0, 20.0);
+  ThermalParams params;
+  params.capacitance_j_per_c = 40.0;  // tau = 24 s so dynamics resolve
+  ThermalMonitor monitor(source, params, 1.0);
+  sim::Simulator sim;
+  monitor.schedule_sampling(sim, 0.0, 600.0);
+  sim.run();
+  // Find the peak; it must occur near the pulse end and decay afterwards.
+  double peak = 0.0;
+  Seconds peak_time = 0.0;
+  for (const auto& sample : monitor.samples()) {
+    if (sample.celsius > peak) {
+      peak = sample.celsius;
+      peak_time = sample.time;
+    }
+  }
+  EXPECT_NEAR(peak_time, 60.0, 1.5);
+  EXPECT_LT(monitor.current_c(), peak);
+  EXPECT_GT(peak, params.ambient_c + 5.0 * 0.6);
+}
+
+TEST(ThermalMonitor, SampleBeforeStartThrows) {
+  FakeSource source(1.0);
+  ThermalMonitor monitor(source, ThermalParams{});
+  EXPECT_THROW(monitor.sample_at(1.0), std::logic_error);
+}
+
+TEST(ThermalMonitor, RejectsBadCycle) {
+  FakeSource source(1.0);
+  EXPECT_THROW(ThermalMonitor(source, ThermalParams{}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracer::power

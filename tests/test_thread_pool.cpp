@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace tracer::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, TaskExceptionSurfacesViaFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor must wait for all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::atomic<bool> release{false};
+  auto a = pool.submit([&] {
+    const int now = ++in_flight;
+    int expected = max_in_flight.load();
+    while (now > expected &&
+           !max_in_flight.compare_exchange_weak(expected, now)) {
+    }
+    while (!release.load()) std::this_thread::yield();
+    --in_flight;
+  });
+  auto b = pool.submit([&] {
+    const int now = ++in_flight;
+    int expected = max_in_flight.load();
+    while (now > expected &&
+           !max_in_flight.compare_exchange_weak(expected, now)) {
+    }
+    release.store(true);
+    --in_flight;
+  });
+  a.get();
+  b.get();
+  EXPECT_EQ(max_in_flight.load(), 2);
+}
+
+}  // namespace
+}  // namespace tracer::util

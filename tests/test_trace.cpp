@@ -1,0 +1,66 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.device = "dev";
+  Bunch b1;
+  b1.timestamp = 0.0;
+  b1.packages = {{0, 4096, OpType::kRead}, {8, 8192, OpType::kWrite}};
+  Bunch b2;
+  b2.timestamp = 1.5;
+  b2.packages = {{100, 4096, OpType::kRead}};
+  trace.bunches = {b1, b2};
+  return trace;
+}
+
+TEST(Trace, EmptyTraceDefaults) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.bunch_count(), 0u);
+  EXPECT_EQ(trace.package_count(), 0u);
+  EXPECT_EQ(trace.total_bytes(), 0u);
+  EXPECT_EQ(trace.duration(), 0.0);
+  EXPECT_EQ(trace.read_ratio(), 0.0);
+  EXPECT_EQ(trace.mean_request_size(), 0.0);
+}
+
+TEST(Trace, CountsAndBytes) {
+  const Trace trace = sample_trace();
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace.bunch_count(), 2u);
+  EXPECT_EQ(trace.package_count(), 3u);
+  EXPECT_EQ(trace.total_bytes(), 16384u);
+  EXPECT_DOUBLE_EQ(trace.duration(), 1.5);
+}
+
+TEST(Trace, ReadRatioByPackageCount) {
+  const Trace trace = sample_trace();
+  EXPECT_NEAR(trace.read_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Trace, MeanRequestSize) {
+  const Trace trace = sample_trace();
+  EXPECT_NEAR(trace.mean_request_size(), 16384.0 / 3.0, 1e-9);
+}
+
+TEST(Bunch, TotalBytes) {
+  Bunch bunch;
+  bunch.packages = {{0, 100, OpType::kRead}, {1, 200, OpType::kWrite}};
+  EXPECT_EQ(bunch.total_bytes(), 300u);
+}
+
+TEST(Trace, EqualityIsDeep) {
+  const Trace a = sample_trace();
+  Trace b = sample_trace();
+  EXPECT_EQ(a, b);
+  b.bunches[1].packages[0].sector = 999;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace tracer::trace

@@ -1,0 +1,96 @@
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tracer::trace {
+namespace {
+
+Trace make_trace(std::vector<std::tuple<Seconds, Sector, Bytes, OpType>> pkgs) {
+  Trace trace;
+  for (const auto& [t, sector, bytes, op] : pkgs) {
+    Bunch bunch;
+    bunch.timestamp = t;
+    bunch.packages.push_back(IoPackage{sector, bytes, op});
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = compute_stats(Trace{});
+  EXPECT_EQ(stats.packages, 0u);
+  EXPECT_EQ(stats.dataset_bytes, 0u);
+  EXPECT_EQ(stats.mean_iops, 0.0);
+}
+
+TEST(TraceStats, BasicCountsAndRatios) {
+  const Trace trace = make_trace({
+      {0.0, 0, 4096, OpType::kRead},
+      {1.0, 100, 8192, OpType::kWrite},
+      {2.0, 200, 4096, OpType::kRead},
+      {4.0, 300, 4096, OpType::kRead},
+  });
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.packages, 4u);
+  EXPECT_EQ(stats.bunches, 4u);
+  EXPECT_DOUBLE_EQ(stats.duration, 4.0);
+  EXPECT_DOUBLE_EQ(stats.read_ratio, 0.75);
+  EXPECT_NEAR(stats.mean_request_kb, 20480.0 / 4 / 1024.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.mean_iops, 1.0);
+}
+
+TEST(TraceStats, FootprintMergesOverlappingExtents) {
+  // Two overlapping 8 KB reads and one disjoint 4 KB read.
+  const Trace trace = make_trace({
+      {0.0, 0, 8192, OpType::kRead},    // [0, 8192)
+      {1.0, 8, 8192, OpType::kRead},    // [4096, 12288) overlaps
+      {2.0, 1000, 4096, OpType::kRead}, // [512000, 516096)
+  });
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.dataset_bytes, 12288u + 4096u);
+  EXPECT_EQ(stats.address_span_bytes, 1000u * 512 + 4096 - 0);
+}
+
+TEST(TraceStats, RepeatedAccessCountsFootprintOnce) {
+  const Trace trace = make_trace({
+      {0.0, 0, 4096, OpType::kRead},
+      {1.0, 0, 4096, OpType::kWrite},
+      {2.0, 0, 4096, OpType::kRead},
+  });
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.dataset_bytes, 4096u);
+  EXPECT_EQ(stats.total_bytes, 3u * 4096);
+}
+
+TEST(TraceStats, SequentialRatioDetectsRuns) {
+  // 0->8->16 sequential (4 KB = 8 sectors), then a jump.
+  const Trace trace = make_trace({
+      {0.0, 0, 4096, OpType::kRead},
+      {1.0, 8, 4096, OpType::kRead},
+      {2.0, 16, 4096, OpType::kRead},
+      {3.0, 10000, 4096, OpType::kRead},
+  });
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_NEAR(stats.sequential_ratio, 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, FullyRandomHasZeroSequentialRatio) {
+  const Trace trace = make_trace({
+      {0.0, 0, 4096, OpType::kRead},
+      {1.0, 5000, 4096, OpType::kRead},
+      {2.0, 90000, 4096, OpType::kRead},
+  });
+  EXPECT_DOUBLE_EQ(compute_stats(trace).sequential_ratio, 0.0);
+}
+
+TEST(TraceStats, ThroughputUsesDecimalMb) {
+  const Trace trace = make_trace({
+      {0.0, 0, 500000, OpType::kRead},
+      {1.0, 10000, 500000, OpType::kRead},
+  });
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_DOUBLE_EQ(stats.mean_mbps, 1.0);  // 1e6 bytes over 1 s
+}
+
+}  // namespace
+}  // namespace tracer::trace

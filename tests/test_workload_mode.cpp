@@ -1,0 +1,72 @@
+#include "workload/workload_mode.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tracer::workload {
+namespace {
+
+TEST(WorkloadMode, GridHas125DistinctModes) {
+  const auto modes = synthetic_grid();
+  EXPECT_EQ(modes.size(), 125u);
+  std::set<std::string> names;
+  for (const auto& mode : modes) names.insert(mode.to_string());
+  EXPECT_EQ(names.size(), 125u);
+}
+
+TEST(WorkloadMode, GridCoversPaperParameterRanges) {
+  const auto modes = synthetic_grid();
+  std::set<Bytes> sizes;
+  std::set<double> reads;
+  std::set<double> randoms;
+  for (const auto& mode : modes) {
+    sizes.insert(mode.request_size);
+    reads.insert(mode.read_ratio);
+    randoms.insert(mode.random_ratio);
+    EXPECT_DOUBLE_EQ(mode.load_proportion, 1.0);
+  }
+  EXPECT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(*sizes.begin(), 512u);        // 512 B (Fig 9/10 low end)
+  EXPECT_EQ(*sizes.rbegin(), kMiB);       // 1 MB (Fig 9/10 high end)
+  EXPECT_EQ(reads.size(), 5u);
+  EXPECT_EQ(randoms.size(), 5u);
+  EXPECT_DOUBLE_EQ(*reads.begin(), 0.0);
+  EXPECT_DOUBLE_EQ(*reads.rbegin(), 1.0);
+}
+
+TEST(WorkloadMode, ToStringIsHumanReadable) {
+  WorkloadMode mode;
+  mode.request_size = 16 * kKiB;
+  mode.random_ratio = 0.25;
+  mode.read_ratio = 0.5;
+  mode.load_proportion = 0.3;
+  EXPECT_EQ(mode.to_string(), "rs=16K rnd=25% rd=50% load=30%");
+}
+
+TEST(WorkloadMode, TraceKeyDropsLoadProportion) {
+  WorkloadMode mode;
+  mode.request_size = 4 * kKiB;
+  mode.random_ratio = 0.5;
+  mode.read_ratio = 0.0;
+  mode.load_proportion = 0.3;
+  const trace::TraceKey key = mode.trace_key("raid5-hdd6");
+  EXPECT_EQ(key.device, "raid5-hdd6");
+  EXPECT_EQ(key.request_size, 4096u);
+  EXPECT_EQ(key.random_pct, 50);
+  EXPECT_EQ(key.read_pct, 0);
+  // Two loads of the same mode share one peak trace.
+  mode.load_proportion = 0.9;
+  EXPECT_EQ(mode.trace_key("raid5-hdd6"), key);
+}
+
+TEST(WorkloadMode, EqualityComparesAllFields) {
+  WorkloadMode a;
+  WorkloadMode b;
+  EXPECT_EQ(a, b);
+  b.load_proportion = 0.5;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace tracer::workload

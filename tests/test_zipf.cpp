@@ -1,0 +1,96 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tracer::workload {
+namespace {
+
+std::vector<std::uint64_t> histogram(ZipfSampler& sampler, util::Rng& rng,
+                                     std::uint64_t n, int samples) {
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t rank = sampler.sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, n);
+    ++counts[rank - 1];
+  }
+  return counts;
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(-1.0, 10), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(1.0, 0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, SingleItemAlwaysRankOne) {
+  ZipfSampler sampler(1.0, 1);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, RanksWithinBoundsAndSkewed) {
+  ZipfSampler sampler(0.8, 1000);
+  util::Rng rng(2);
+  const auto counts = histogram(sampler, rng, 1000, 200000);
+  // Rank 1 must be the clear mode; rank 1000 should be rare.
+  EXPECT_GT(counts[0], counts[99] * 2);
+  EXPECT_GT(counts[0], counts[999] * 10);
+}
+
+TEST(ZipfSampler, MatchesTheoreticalHeadProbability) {
+  const double s = 1.0;
+  const std::uint64_t n = 100;
+  ZipfSampler sampler(s, n);
+  util::Rng rng(3);
+  const int samples = 500000;
+  const auto counts = histogram(sampler, rng, n, samples);
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) harmonic += 1.0 / static_cast<double>(k);
+  const double expected_p1 = 1.0 / harmonic;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / samples, expected_p1,
+              expected_p1 * 0.05);
+}
+
+TEST(ZipfSampler, HigherSkewConcentratesMass) {
+  util::Rng rng_a(4);
+  util::Rng rng_b(4);
+  ZipfSampler shallow(0.5, 10000);
+  ZipfSampler steep(1.2, 10000);
+  int shallow_top = 0;
+  int steep_top = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (shallow.sample(rng_a) <= 100) ++shallow_top;
+    if (steep.sample(rng_b) <= 100) ++steep_top;
+  }
+  EXPECT_GT(steep_top, shallow_top * 2);
+}
+
+TEST(ZipfSampler, WorksAtScaleWithoutTables) {
+  // 100M items: the rejection-inversion sampler must not allocate per-item
+  // state (this would OOM a table-based sampler).
+  ZipfSampler sampler(0.9, 100000000);
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t rank = sampler.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 100000000u);
+  }
+}
+
+TEST(ZipfSampler, NearOneExponentHandled) {
+  // s == 1 hits the logarithmic branch of H(x).
+  ZipfSampler sampler(1.0 + 1e-14, 1000);
+  util::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t rank = sampler.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace tracer::workload
