@@ -4,14 +4,29 @@
 // campaign — every mode of the 5x5x5 grid collected once and replayed at
 // all ten levels — and reports the aggregates the paper draws from it:
 // the power/throughput correlation, and where the efficiency extremes sit
-// in the mode space. The full per-test table lands in a CSV next to the
-// binary's working directory.
+// in the mode space.
+//
+// The campaign goes through CampaignRunner, so it is fault-tolerant and
+// resumable: completed tests stream to campaign_1250.journal.csv as they
+// finish, a failed test costs exactly one slot instead of the whole run,
+// Ctrl-C stops cleanly, and re-running the binary resumes from the journal
+// without repeating completed (trace, load) pairs. Delete the journal for
+// a from-scratch run.
 #include "bench_common.h"
 
+#include "core/campaign.h"
 #include "util/stats.h"
 
 #include <algorithm>
+#include <csignal>
 #include <fstream>
+
+namespace {
+tracer::util::CancelToken* g_cancel = nullptr;
+extern "C" void on_sigint(int) {
+  if (g_cancel != nullptr) g_cancel->request_cancel();
+}
+}  // namespace
 
 int main() {
   using namespace tracer;
@@ -34,8 +49,44 @@ int main() {
       all_tests.push_back(mode);
     }
   }
-  std::printf("running %zu experiments...\n", all_tests.size());
-  const auto results = host.run_sweep(all_tests);
+
+  core::CampaignOptions campaign_options;
+  campaign_options.journal_path = "campaign_1250.journal.csv";
+  campaign_options.max_retries = 1;
+  campaign_options.on_progress = [](const core::CampaignProgress& p) {
+    if (p.processed() % 125 == 0 || p.processed() == p.total) {
+      std::printf("  %zu/%zu done (%zu resumed, %zu failed, %zu retries), "
+                  "elapsed %.0fs, eta %.0fs\n",
+                  p.processed(), p.total, p.skipped, p.failed, p.retries,
+                  p.elapsed, p.eta);
+    }
+  };
+  core::CampaignRunner runner(host, campaign_options);
+  g_cancel = &runner.cancel_token();
+  std::signal(SIGINT, on_sigint);
+
+  std::printf("running %zu experiments (journal: %s)...\n", all_tests.size(),
+              campaign_options.journal_path.string().c_str());
+  const core::CampaignReport report = runner.run(all_tests);
+  std::signal(SIGINT, SIG_DFL);
+  g_cancel = nullptr;
+
+  std::printf("campaign: %zu completed, %zu resumed from journal, %zu "
+              "failed, %zu cancelled, %zu retries, %.0fs\n",
+              report.completed(), report.skipped(), report.failed(),
+              report.cancelled(), report.retries, report.elapsed);
+  if (report.cancelled() > 0) {
+    std::printf("cancelled mid-campaign; re-run to resume from the "
+                "journal\n");
+    return 130;
+  }
+
+  // Records in input order; a failed slot leaves a null (and drops its
+  // whole mode group from the per-mode aggregates below).
+  std::vector<const db::TestRecord*> records(report.outcomes.size(), nullptr);
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (report.outcomes[i].ok()) records[i] = &report.outcomes[i].record;
+  }
 
   // Aggregate 1: the §I claim — "power consumption ... is closely
   // correlated with I/O throughput performance AND workload affecting
@@ -43,105 +94,111 @@ int main() {
   // must track throughput across the ten load levels; across modes the
   // workload factors dominate, which is exactly the paper's point.
   std::vector<double> per_mode_corr;
-  for (std::size_t m = 0; m < results.size(); m += 10) {
+  for (std::size_t m = 0; m < records.size(); m += 10) {
     std::vector<double> watts;
     std::vector<double> mbps;
     for (std::size_t l = 0; l < 10; ++l) {
-      watts.push_back(results[m + l].record.avg_watts);
-      mbps.push_back(results[m + l].record.mbps);
+      if (records[m + l] == nullptr) break;
+      watts.push_back(records[m + l]->avg_watts);
+      mbps.push_back(records[m + l]->mbps);
     }
+    if (watts.size() < 10) continue;  // mode group incomplete
     per_mode_corr.push_back(util::pearson_correlation(mbps, watts));
+  }
+  if (per_mode_corr.empty()) {
+    std::printf("no complete mode group; nothing to aggregate\n");
+    return 1;
   }
   std::sort(per_mode_corr.begin(), per_mode_corr.end());
   const double median_corr = per_mode_corr[per_mode_corr.size() / 2];
   std::printf(
       "within-mode power-vs-MBPS correlation across load levels: median "
-      "%.3f, min %.3f (125 modes)\n",
-      median_corr, per_mode_corr.front());
+      "%.3f, min %.3f (%zu modes)\n",
+      median_corr, per_mode_corr.front(), per_mode_corr.size());
   bench::print_verdict(median_corr > 0.9,
                        "power consumption closely correlated with I/O "
                        "throughput once workload factors are held fixed "
                        "(§I)");
 
   // Aggregate 2: efficiency extremes at full load.
-  const core::TestResult* best_iops_w = nullptr;
-  const core::TestResult* worst_iops_w = nullptr;
-  const core::TestResult* best_mbps_kw = nullptr;
-  for (const auto& result : results) {
-    if (result.record.load_proportion < 1.0) continue;
-    if (!best_iops_w ||
-        result.record.iops_per_watt > best_iops_w->record.iops_per_watt) {
-      best_iops_w = &result;
+  const db::TestRecord* best_iops_w = nullptr;
+  const db::TestRecord* worst_iops_w = nullptr;
+  const db::TestRecord* best_mbps_kw = nullptr;
+  for (const db::TestRecord* record : records) {
+    if (record == nullptr || record->load_proportion < 1.0) continue;
+    if (!best_iops_w || record->iops_per_watt > best_iops_w->iops_per_watt) {
+      best_iops_w = record;
     }
     if (!worst_iops_w ||
-        result.record.iops_per_watt < worst_iops_w->record.iops_per_watt) {
-      worst_iops_w = &result;
+        record->iops_per_watt < worst_iops_w->iops_per_watt) {
+      worst_iops_w = record;
     }
-    if (!best_mbps_kw || result.record.mbps_per_kilowatt >
-                             best_mbps_kw->record.mbps_per_kilowatt) {
-      best_mbps_kw = &result;
+    if (!best_mbps_kw ||
+        record->mbps_per_kilowatt > best_mbps_kw->mbps_per_kilowatt) {
+      best_mbps_kw = record;
     }
   }
-  auto mode_of = [](const core::TestResult& r) {
+  auto mode_of = [](const db::TestRecord& r) {
     return util::format("%s rnd%.0f%% rd%.0f%%",
-                        util::format_size(r.record.request_size).c_str(),
-                        r.record.random_ratio * 100,
-                        r.record.read_ratio * 100);
+                        util::format_size(r.request_size).c_str(),
+                        r.random_ratio * 100, r.read_ratio * 100);
   };
   util::Table extremes({"extreme (load 100%)", "mode", "value"});
   extremes.row()
       .add("best IOPS/Watt")
       .add(mode_of(*best_iops_w))
-      .add(best_iops_w->record.iops_per_watt, 2)
+      .add(best_iops_w->iops_per_watt, 2)
       .done();
   extremes.row()
       .add("worst IOPS/Watt")
       .add(mode_of(*worst_iops_w))
-      .add(worst_iops_w->record.iops_per_watt, 2)
+      .add(worst_iops_w->iops_per_watt, 2)
       .done();
   extremes.row()
       .add("best MBPS/kW")
       .add(mode_of(*best_mbps_kw))
-      .add(best_mbps_kw->record.mbps_per_kilowatt, 2)
+      .add(best_mbps_kw->mbps_per_kilowatt, 2)
       .done();
   extremes.print(std::cout);
 
   // Paper structure checks on the extremes: small+sequential wins
   // IOPS/Watt; large+sequential wins MBPS/kW; large+random loses IOPS/Watt.
-  bench::print_verdict(best_iops_w->record.request_size <= 4 * kKiB &&
-                           best_iops_w->record.random_ratio == 0.0,
+  bench::print_verdict(best_iops_w->request_size <= 4 * kKiB &&
+                           best_iops_w->random_ratio == 0.0,
                        "best IOPS/Watt is a small sequential mode");
-  bench::print_verdict(best_mbps_kw->record.request_size >= 64 * kKiB &&
-                           best_mbps_kw->record.random_ratio == 0.0,
+  bench::print_verdict(best_mbps_kw->request_size >= 64 * kKiB &&
+                           best_mbps_kw->random_ratio == 0.0,
                        "best MBPS/kW is a large sequential mode");
-  bench::print_verdict(worst_iops_w->record.request_size == kMiB,
+  bench::print_verdict(worst_iops_w->request_size == kMiB,
                        "worst IOPS/Watt is a 1 MB mode (fewest ops per "
                        "joule)");
 
   // Aggregate 3: mean load-control accuracy across all 125 modes.
   double worst_accuracy_error = 0.0;
-  for (std::size_t m = 0; m < results.size(); m += 10) {
-    const double base_iops = results[m + 9].record.iops;  // load 100 %
+  for (std::size_t m = 0; m < records.size(); m += 10) {
+    if (records[m + 9] == nullptr) continue;
+    const double base_iops = records[m + 9]->iops;  // load 100 %
     if (base_iops <= 0.0) continue;
     for (std::size_t l = 0; l < 10; ++l) {
+      if (records[m + l] == nullptr) continue;
       const double configured = bench::load_levels()[l];
       const double accuracy = core::load_control_accuracy(
-          core::load_proportion(base_iops, results[m + l].record.iops),
+          core::load_proportion(base_iops, records[m + l]->iops),
           configured);
       worst_accuracy_error =
           std::max(worst_accuracy_error, std::abs(accuracy - 1.0));
     }
   }
-  std::printf("worst IOPS load-control error across all 1250 tests: "
+  std::printf("worst IOPS load-control error across all %zu tests: "
               "%.1f %%\n",
-              worst_accuracy_error * 100.0);
+              records.size(), worst_accuracy_error * 100.0);
   bench::print_verdict(worst_accuracy_error < 0.40,
                        "load control usable across the whole grid even at "
                        "2 s trace scale (error shrinks ~1/sqrt(packages); "
                        "see fig08 for paper-scale accuracy)");
 
-  host.database().export_csv("campaign_1250.csv");
-  std::printf("full per-test records: campaign_1250.csv (%zu rows)\n",
-              host.database().size());
-  return 0;
+  std::printf("full per-test records: %s (%zu rows, survives restarts)\n",
+              campaign_options.journal_path.string().c_str(),
+              report.completed() + report.skipped());
+  return report.all_ok() ? 0 : 1;
 }

@@ -3,11 +3,18 @@
 // array — over message channels, exactly as the testbed ran them over TCP.
 // Each service runs on its own thread; results flow back as PERF_RESULT
 // frames and land in one results table.
+//
+// Each remote is driven through a CampaignRunner, so the distributed
+// campaign gets the same failure semantics as the local one: a test that
+// fails on the wire is retried, then isolated to a single failed slot
+// instead of sinking the whole run.
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <stdexcept>
 #include <thread>
 
+#include "core/campaign.h"
 #include "core/remote.h"
 #include "util/table.h"
 
@@ -40,43 +47,76 @@ int main() {
   core::RemoteWorkloadClient hdd_remote(hdd_client);
   core::RemoteWorkloadClient ssd_remote(ssd_client);
 
-  util::Table table({"host", "mode", "IOPS", "MBPS", "watts", "IOPS/Watt"});
-  workload::WorkloadMode mode;
-  mode.request_size = 16 * kKiB;
-  mode.read_ratio = 0.5;
-  mode.random_ratio = 0.5;
-
+  workload::WorkloadMode base;
+  base.request_size = 16 * kKiB;
+  base.read_ratio = 0.5;
+  base.random_ratio = 0.5;
+  std::vector<workload::WorkloadMode> modes;
   for (double load : {0.3, 0.6, 1.0}) {
+    workload::WorkloadMode mode = base;
     mode.load_proportion = load;
-    for (auto* remote : {&hdd_remote, &ssd_remote}) {
-      if (!remote->configure(mode)) {
-        std::fprintf(stderr, "configure failed\n");
-        return 1;
-      }
-      const auto record = remote->start(/*timeout=*/600.0);
-      if (!record) {
-        std::fprintf(stderr, "start failed\n");
-        return 1;
-      }
-      table.row()
-          .add(record->device)
-          .add(mode.to_string())
-          .add(record->iops, 1)
-          .add(record->mbps, 2)
-          .add(record->avg_watts, 1)
-          .add(record->iops_per_watt, 3)
-          .done();
-    }
+    modes.push_back(mode);
   }
+
+  // One runner per remote; a generator channel serves one test at a time,
+  // so each runner drives its remote single-threaded while the two remotes
+  // proceed in parallel — Fig 3's multi-machine concurrency.
+  auto remote_executor = [](core::RemoteWorkloadClient& remote) {
+    return [&remote](const workload::WorkloadMode& mode) {
+      if (!remote.configure(mode)) {
+        throw std::runtime_error("remote: configure failed");
+      }
+      const auto record = remote.start(/*timeout=*/600.0);
+      if (!record) throw std::runtime_error("remote: start failed");
+      return *record;
+    };
+  };
+  core::CampaignOptions campaign_options;
+  campaign_options.threads = 1;
+  campaign_options.max_retries = 1;
+  core::CampaignRunner hdd_runner(remote_executor(hdd_remote),
+                                  hdd_host.array_config().name,
+                                  campaign_options);
+  core::CampaignRunner ssd_runner(remote_executor(ssd_remote),
+                                  ssd_host.array_config().name,
+                                  campaign_options);
+
+  core::CampaignReport hdd_report;
+  core::CampaignReport ssd_report;
+  std::thread hdd_campaign([&] { hdd_report = hdd_runner.run(modes); });
+  std::thread ssd_campaign([&] { ssd_report = ssd_runner.run(modes); });
+  hdd_campaign.join();
+  ssd_campaign.join();
 
   hdd_remote.stop();
   ssd_remote.stop();
   hdd_thread.join();
   ssd_thread.join();
 
+  util::Table table({"host", "mode", "IOPS", "MBPS", "watts", "IOPS/Watt"});
+  for (const auto* report : {&hdd_report, &ssd_report}) {
+    for (std::size_t i = 0; i < report->outcomes.size(); ++i) {
+      const core::TestOutcome& outcome = report->outcomes[i];
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "test %s failed: %s\n",
+                     modes[i].to_string().c_str(), outcome.error.c_str());
+        continue;
+      }
+      const db::TestRecord& record = outcome.record;
+      table.row()
+          .add(record.device)
+          .add(modes[i].to_string())
+          .add(record.iops, 1)
+          .add(record.mbps, 2)
+          .add(record.avg_watts, 1)
+          .add(record.iops_per_watt, 3)
+          .done();
+    }
+  }
+
   std::printf("distributed evaluation over message channels (Fig 3):\n");
   table.print(std::cout);
   std::printf("\nlocal databases: hdd=%zu records, ssd=%zu records\n",
               hdd_host.database().size(), ssd_host.database().size());
-  return 0;
+  return hdd_report.all_ok() && ssd_report.all_ok() ? 0 : 1;
 }

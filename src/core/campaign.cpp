@@ -1,0 +1,186 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace tracer::core {
+
+namespace {
+Seconds since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+std::size_t CampaignReport::count(TestStatus status) const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [status](const TestOutcome& o) {
+                      return o.status == status;
+                    }));
+}
+
+bool CampaignReport::all_ok() const {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const TestOutcome& o) { return o.ok(); });
+}
+
+CampaignRunner::CampaignRunner(EvaluationHost& host, CampaignOptions options)
+    : executor_([&host](const workload::WorkloadMode& mode) {
+        return host.run_test(mode).record;
+      }),
+      device_(host.array_config().name),
+      options_(std::move(options)) {}
+
+CampaignRunner::CampaignRunner(TestExecutor executor, std::string device,
+                               CampaignOptions options)
+    : executor_(std::move(executor)),
+      device_(std::move(device)),
+      options_(std::move(options)) {
+  if (!executor_) {
+    throw std::invalid_argument("CampaignRunner: null executor");
+  }
+}
+
+std::string CampaignRunner::trace_name_for(
+    const workload::WorkloadMode& mode) const {
+  return mode.trace_key(device_).file_name();
+}
+
+void CampaignRunner::bump_progress(
+    const std::function<void(CampaignProgress&)>& update) {
+  std::lock_guard<std::mutex> lock(progress_mutex_);
+  update(progress_);
+  progress_.elapsed = since(started_);
+  // ETA from the mean wall-clock cost of tests run in this process;
+  // journal-skipped tests are free, so they don't enter the average.
+  const std::size_t ran = progress_.completed + progress_.failed;
+  const std::size_t remaining = progress_.total - progress_.processed();
+  progress_.eta = ran > 0 ? progress_.elapsed / static_cast<double>(ran) *
+                                static_cast<double>(remaining)
+                          : 0.0;
+  // Invoked under the progress lock so callbacks are serialised and see
+  // monotonic counters; observers must not call back into the runner.
+  if (options_.on_progress) options_.on_progress(progress_);
+}
+
+TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
+                                    const std::string& trace_name) {
+  TestOutcome outcome;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (cancel_.cancelled()) break;
+    ++outcome.attempts;
+    try {
+      if (options_.fail_test && options_.fail_test(mode, attempt)) {
+        throw std::runtime_error(util::format(
+            "injected fault (attempt %d of %s)", attempt, trace_name.c_str()));
+      }
+      db::TestRecord record = executor_(mode);
+      // Executors that don't label their records (remote stubs, tests)
+      // still need journal-stable identity.
+      if (record.trace_name.empty()) record.trace_name = trace_name;
+      if (record.device.empty()) record.device = device_;
+      if (record.load_proportion == 0.0) {
+        record.load_proportion = mode.load_proportion;
+      }
+      if (journal_) journal_->append(record);
+      outcome.status = TestStatus::kCompleted;
+      outcome.record = std::move(record);
+      bump_progress([](CampaignProgress& p) { ++p.completed; });
+      return outcome;
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "unknown error";
+    }
+    if (attempt < options_.max_retries && !cancel_.cancelled()) {
+      TRACER_LOG(kWarn) << "campaign test " << trace_name << " @ "
+                        << mode.load_proportion << " attempt " << attempt
+                        << " failed (" << outcome.error << "), retrying";
+      bump_progress([](CampaignProgress& p) { ++p.retries; });
+      const Seconds backoff =
+          options_.retry_backoff * static_cast<double>(1u << attempt);
+      if (backoff > 0.0) cancel_.sleep_for(backoff);
+    }
+  }
+  if (outcome.attempts == 0) {
+    // Cancelled before the first attempt: leave the default kCancelled.
+    return outcome;
+  }
+  outcome.status = TestStatus::kFailed;
+  TRACER_LOG(kError) << "campaign test " << trace_name << " @ "
+                     << mode.load_proportion << " failed after "
+                     << outcome.attempts << " attempt(s): " << outcome.error;
+  bump_progress([](CampaignProgress& p) { ++p.failed; });
+  return outcome;
+}
+
+CampaignReport CampaignRunner::run(
+    const std::vector<workload::WorkloadMode>& modes) {
+  CampaignReport report;
+  report.outcomes.assign(modes.size(), TestOutcome{});
+  started_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    progress_ = CampaignProgress{};
+    progress_.total = modes.size();
+  }
+
+  // Resume: everything the journal already holds is done.
+  std::unordered_map<std::string, db::TestRecord> done;
+  if (!options_.journal_path.empty()) {
+    for (auto& record : db::CampaignJournal::load(options_.journal_path)) {
+      done.insert_or_assign(
+          db::CampaignJournal::key(record.trace_name, record.load_proportion),
+          std::move(record));
+    }
+    journal_ = std::make_unique<db::CampaignJournal>(options_.journal_path);
+    if (!done.empty()) {
+      TRACER_LOG(kInfo) << "campaign journal "
+                        << options_.journal_path.string() << ": resuming, "
+                        << done.size() << " completed test(s) on record";
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  std::vector<std::string> trace_names(modes.size());
+  pending.reserve(modes.size());
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    trace_names[i] = trace_name_for(modes[i]);
+    const auto it = done.find(db::CampaignJournal::key(
+        trace_names[i], modes[i].load_proportion));
+    if (it != done.end()) {
+      report.outcomes[i].status = TestStatus::kSkipped;
+      report.outcomes[i].record = it->second;
+      bump_progress([](CampaignProgress& p) { ++p.skipped; });
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  if (!pending.empty()) {
+    util::ThreadPool pool(options_.threads);
+    pool.parallel_for(
+        pending.size(),
+        [this, &pending, &modes, &trace_names, &report](std::size_t p) {
+          const std::size_t i = pending[p];
+          report.outcomes[i] = run_one(modes[i], trace_names[i]);
+        },
+        &cancel_);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    report.retries = progress_.retries;
+  }
+  report.elapsed = since(started_);
+  return report;
+}
+
+}  // namespace tracer::core

@@ -118,14 +118,31 @@ TestResult EvaluationHost::run_trace(const trace::Trace& trace,
   return replay_filtered(trace, trace_name, mode);
 }
 
-std::vector<TestResult> EvaluationHost::run_sweep(
-    const std::vector<workload::WorkloadMode>& modes) {
-  std::vector<TestResult> results(modes.size());
+std::vector<SweepOutcome> EvaluationHost::run_sweep(
+    const std::vector<workload::WorkloadMode>& modes,
+    util::CancelToken* cancel) {
+  std::vector<SweepOutcome> outcomes(modes.size());
   util::ThreadPool pool(options_.threads);
-  pool.parallel_for(modes.size(), [this, &modes, &results](std::size_t i) {
-    results[i] = run_test(modes[i]);
-  });
-  return results;
+  pool.parallel_for(
+      modes.size(),
+      [this, &modes, &outcomes](std::size_t i) {
+        try {
+          outcomes[i].result = run_test(modes[i]);
+        } catch (const std::exception& e) {
+          outcomes[i].error = e.what();
+          TRACER_LOG(kWarn) << "sweep test " << i << " ["
+                            << modes[i].to_string() << "] failed: "
+                            << e.what();
+        } catch (...) {
+          outcomes[i].error = "unknown error";
+        }
+      },
+      cancel);
+  // Slots the cancellation skipped ran neither branch above.
+  for (auto& outcome : outcomes) {
+    if (!outcome.ok() && outcome.error.empty()) outcome.error = "cancelled";
+  }
+  return outcomes;
 }
 
 }  // namespace tracer::core

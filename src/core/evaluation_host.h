@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "storage/disk_array.h"
 #include "trace/repository.h"
 #include "workload/workload_mode.h"
+
+namespace tracer::util {
+class CancelToken;
+}  // namespace tracer::util
 
 namespace tracer::core {
 
@@ -37,6 +42,15 @@ struct EvaluationOptions {
 struct TestResult {
   db::TestRecord record;
   ReplayReport report;
+};
+
+/// Per-index outcome of run_sweep: either the completed test or the error
+/// that felled it. One failed test no longer discards the other slots.
+struct SweepOutcome {
+  std::optional<TestResult> result;  ///< engaged when the test completed
+  std::string error;  ///< failure ("cancelled" for skipped slots) otherwise
+
+  bool ok() const { return result.has_value(); }
 };
 
 class EvaluationHost {
@@ -58,9 +72,13 @@ class EvaluationHost {
   TestResult run_trace(const trace::Trace& trace, const std::string& trace_name,
                        double load_proportion);
 
-  /// Run a whole sweep in parallel; results come back in input order.
-  std::vector<TestResult> run_sweep(
-      const std::vector<workload::WorkloadMode>& modes);
+  /// Run a whole sweep in parallel; outcomes come back in input order. A
+  /// throwing test yields a failed slot instead of aborting the sweep, so
+  /// every completed result survives. Pass a CancelToken to stop early:
+  /// not-yet-started slots come back with error "cancelled".
+  std::vector<SweepOutcome> run_sweep(
+      const std::vector<workload::WorkloadMode>& modes,
+      util::CancelToken* cancel = nullptr);
 
   /// Install/replace the live monitoring hook (see EvaluationOptions).
   /// Not thread-safe with respect to concurrently running tests.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/string_util.h"
+
 namespace tracer::core {
 
 std::vector<bool> ProportionalFilter::selection_pattern(
@@ -27,8 +29,19 @@ std::size_t ProportionalFilter::select_count_for(double proportion,
     throw std::invalid_argument(
         "ProportionalFilter: proportion must be in (0, 1]");
   }
-  const auto k = static_cast<std::size_t>(
-      std::lround(proportion * static_cast<double>(group_size)));
+  // The filter's resolution floor is 1/(2*group_size): below it the
+  // nearest representable k would be 0 bunches. Silently clamping to k=1
+  // used to replay at 1/group_size load (e.g. 10x the requested 0.04), so
+  // refuse instead and point at the tool that can go finer.
+  const double scaled = proportion * static_cast<double>(group_size);
+  if (scaled < 0.5) {
+    throw std::domain_error(util::format(
+        "ProportionalFilter: proportion %g is below the resolution floor "
+        "1/(2*%zu); use InterarrivalScaler for finer load control "
+        "(docs/MODELS.md)",
+        proportion, group_size));
+  }
+  const auto k = static_cast<std::size_t>(std::lround(scaled));
   return std::clamp<std::size_t>(k, 1, group_size);
 }
 

@@ -115,8 +115,24 @@ RealtimeReport RealtimeReplayer::replay(const trace::Trace& trace,
     }
   }
 
+  // Wait for stragglers without pegging a core: a few polite yields for
+  // the fast path, then bounded exponential sleep (capped at 1 ms so the
+  // final completion is never missed by much). Keep draining completions
+  // while waiting so the queue cannot wedge full under a large backlog.
+  std::size_t spins = 0;
+  Seconds backoff = 50e-6;
   while (outstanding.load(std::memory_order_acquire) > 0) {
-    std::this_thread::yield();
+    while (auto completion = completions.try_pop()) {
+      report.avg_latency_ms += completion->latency * 1e3;
+    }
+    if (outstanding.load(std::memory_order_acquire) == 0) break;
+    if (spins < 64) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, 1e-3);
+    }
   }
   while (auto completion = completions.try_pop()) {
     report.avg_latency_ms += completion->latency * 1e3;

@@ -89,10 +89,16 @@ net::Message WorkloadGeneratorService::handle(const net::Message& command) {
       if (!configured_) {
         return net::make_error(command.sequence, "no test configured");
       }
-      TestResult result = host_.run_test(*configured_);
-      net::Message reply = encode_record(result.record);
-      reply.sequence = command.sequence;
-      return reply;
+      // A failed test must come back as an ERROR frame, not unwind through
+      // serve() and kill the service (the host is still healthy).
+      try {
+        TestResult result = host_.run_test(*configured_);
+        net::Message reply = encode_record(result.record);
+        reply.sequence = command.sequence;
+        return reply;
+      } catch (const std::exception& e) {
+        return net::make_error(command.sequence, e.what());
+      }
     }
     case net::MessageType::kStopTest:
       return net::make_ack(command.sequence);

@@ -13,22 +13,19 @@ ReplayEngine::ReplayEngine(const ReplayOptions& options)
   }
 }
 
-namespace {
-
-/// Fold a trace sector into the device, keeping request-size alignment so
-/// sequential runs in the trace stay sequential on the device.
 Sector wrap_sector(Sector sector, Bytes bytes, Bytes capacity) {
   const Sector capacity_sectors = capacity / kSectorSize;
   const Sector request_sectors =
       std::max<Sector>(1, (bytes + kSectorSize - 1) / kSectorSize);
-  if (capacity_sectors <= request_sectors) {
+  if (capacity_sectors < request_sectors) {
     throw std::invalid_argument("replay: request larger than device");
   }
+  // Valid start sectors form the inclusive range
+  // [0, capacity_sectors - request_sectors], so the modulus is usable + 1;
+  // a request that exactly fills the device always starts at 0.
   const Sector usable = capacity_sectors - request_sectors;
-  return sector % usable;
+  return sector % (usable + 1);
 }
-
-}  // namespace
 
 void ReplayEngine::schedule_bunch(const trace::Trace& trace, std::size_t index,
                                   storage::BlockDevice& device) {

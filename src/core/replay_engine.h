@@ -24,6 +24,14 @@
 
 namespace tracer::core {
 
+/// Fold a trace sector into the device, keeping request-size alignment so
+/// sequential runs in the trace stay sequential on the device. The result
+/// is a valid start sector: wrap + ceil(bytes/512) never exceeds the
+/// device's sector count. Throws when the request itself is larger than
+/// the device. Used by replay when ReplayOptions::wrap_addresses is set;
+/// exposed here so boundary behaviour is directly testable.
+Sector wrap_sector(Sector sector, Bytes bytes, Bytes capacity);
+
 /// One sampling-cycle snapshot — what the paper's GUI displays in real
 /// time ("the users are able to view real-time energy dissipation, I/O
 /// throughput (IOPS and MBPS), and energy-efficiency values", §III-B).

@@ -1,0 +1,132 @@
+#include "db/journal.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tracer::db {
+
+namespace {
+
+const std::vector<std::string>& header_row() {
+  static const std::vector<std::string> kHeader = {
+      "test_id",         "timestamp",  "device",
+      "trace",           "request_size",
+      "random_ratio",    "read_ratio", "load_proportion",
+      "avg_amps",        "avg_volts",  "avg_watts",
+      "joules",          "iops",       "mbps",
+      "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt"};
+  return kHeader;
+}
+
+bool parse_row(const std::vector<std::string>& fields, TestRecord& out) {
+  if (fields.size() != header_row().size()) return false;
+  try {
+    out.test_id = std::stoull(fields[0]);
+    out.timestamp = fields[1];
+    out.device = fields[2];
+    out.trace_name = fields[3];
+    out.request_size = std::stoull(fields[4]);
+    out.random_ratio = std::stod(fields[5]);
+    out.read_ratio = std::stod(fields[6]);
+    out.load_proportion = std::stod(fields[7]);
+    out.avg_amps = std::stod(fields[8]);
+    out.avg_volts = std::stod(fields[9]);
+    out.avg_watts = std::stod(fields[10]);
+    out.joules = std::stod(fields[11]);
+    out.iops = std::stod(fields[12]);
+    out.mbps = std::stod(fields[13]);
+    out.avg_response_ms = std::stod(fields[14]);
+    out.iops_per_watt = std::stod(fields[15]);
+    out.mbps_per_kilowatt = std::stod(fields[16]);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::filesystem::path path)
+    : path_(std::move(path)) {
+  const bool fresh =
+      !std::filesystem::exists(path_) || std::filesystem::file_size(path_) == 0;
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  // A crash can leave a torn final row with no trailing newline; terminate
+  // it before appending so the next row is not glued onto the wreckage.
+  bool needs_newline = false;
+  if (!fresh) {
+    std::ifstream in(path_, std::ios::binary);
+    in.seekg(-1, std::ios::end);
+    char last = '\n';
+    if (in.get(last)) needs_newline = last != '\n';
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("CampaignJournal: cannot open " + path_.string());
+  }
+  if (needs_newline) out_ << '\n';
+  if (fresh) {
+    util::CsvWriter csv(out_);
+    csv.write_row(header_row());
+    out_.flush();
+  }
+}
+
+void CampaignJournal::append(const TestRecord& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::CsvWriter csv(out_);
+  csv.row()
+      .add(r.test_id)
+      .add(r.timestamp)
+      .add(r.device)
+      .add(r.trace_name)
+      .add(r.request_size)
+      .add(r.random_ratio, 4)
+      .add(r.read_ratio, 4)
+      .add(r.load_proportion, 4)
+      .add(r.avg_amps, 4)
+      .add(r.avg_volts, 2)
+      .add(r.avg_watts, 3)
+      .add(r.joules, 3)
+      .add(r.iops, 2)
+      .add(r.mbps, 3)
+      .add(r.avg_response_ms, 3)
+      .add(r.iops_per_watt, 4)
+      .add(r.mbps_per_kilowatt, 3)
+      .done();
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("CampaignJournal: write failed for " +
+                             path_.string());
+  }
+}
+
+std::vector<TestRecord> CampaignJournal::load(
+    const std::filesystem::path& path) {
+  std::vector<TestRecord> records;
+  if (!std::filesystem::exists(path)) return records;
+  const auto rows = util::CsvReader::load(path.string());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i == 0 && !rows[i].empty() && rows[i][0] == "test_id") continue;
+    TestRecord record;
+    if (parse_row(rows[i], record)) {
+      records.push_back(std::move(record));
+    } else {
+      TRACER_LOG(kWarn) << "journal " << path.string() << ": skipping "
+                        << "malformed row " << i + 1;
+    }
+  }
+  return records;
+}
+
+std::string CampaignJournal::key(const std::string& trace_name,
+                                 double load_proportion) {
+  return util::format("%s@%.4f", trace_name.c_str(), load_proportion);
+}
+
+}  // namespace tracer::db

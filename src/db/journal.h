@@ -1,0 +1,45 @@
+// Append-only campaign journal (CSV). Completed tests stream here one row
+// at a time, flushed as they land, so a crash or Ctrl-C mid-campaign loses
+// at most the row being written; a restarted campaign loads the journal
+// and skips every (trace_name, load_proportion) pair it already holds.
+// The column set matches Database::export_csv, so the journal doubles as
+// the campaign's results table.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/record.h"
+
+namespace tracer::db {
+
+class CampaignJournal {
+ public:
+  /// Open `path` for appending, creating it (with a header row) when
+  /// missing. Throws std::runtime_error when the file cannot be opened.
+  explicit CampaignJournal(std::filesystem::path path);
+
+  /// Append one record and flush. Thread-safe. Throws on write failure.
+  void append(const TestRecord& record);
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Load every well-formed row from `path`. A missing file is an empty
+  /// journal; a torn tail row (crash mid-write) is skipped, not fatal.
+  static std::vector<TestRecord> load(const std::filesystem::path& path);
+
+  /// Resume key for a completed test: identifies the (trace, load) pair
+  /// independent of test_id, which differs across process restarts.
+  static std::string key(const std::string& trace_name,
+                         double load_proportion);
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace tracer::db

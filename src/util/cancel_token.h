@@ -1,0 +1,54 @@
+// Cooperative cancellation for sweeps and campaigns. A CancelToken is a
+// one-way latch: anything holding a reference may request cancellation
+// (including a signal handler — request_cancel is a single atomic store),
+// and long-running work polls cancelled() at safe points to stop cleanly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace tracer::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Latch cancellation. Async-signal-safe (plain atomic store).
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arm a spent token (e.g. between campaign runs). Not safe while
+  /// work holding this token is still in flight.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+  /// Sleep up to `seconds`, waking early on cancellation. Polls in small
+  /// slices instead of waiting on a condition variable so request_cancel
+  /// stays signal-safe. Returns true when the sleep was cut short.
+  bool sleep_for(double seconds) const {
+    using namespace std::chrono;
+    constexpr auto kSlice = milliseconds(10);
+    const auto deadline =
+        steady_clock::now() +
+        duration_cast<steady_clock::duration>(duration<double>(seconds));
+    while (!cancelled()) {
+      const auto now = steady_clock::now();
+      if (now >= deadline) return false;
+      std::this_thread::sleep_for(
+          std::min<steady_clock::duration>(deadline - now, kSlice));
+    }
+    return true;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace tracer::util

@@ -40,12 +40,30 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              CancelToken* cancel) {
   if (n == 0) return;
+  // One failed task dooms the sweep: stop enqueuing further work and let
+  // tasks that were queued before the failure landed skip themselves, so
+  // the first exception surfaces promptly instead of after n more tests.
+  std::atomic<bool> failed{false};
+  auto doomed = [&failed, cancel] {
+    return failed.load(std::memory_order_acquire) ||
+           (cancel != nullptr && cancel->cancelled());
+  };
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+    if (doomed()) break;
+    futures.push_back(submit([&fn, i, &failed, &doomed] {
+      if (doomed()) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_release);
+        throw;
+      }
+    }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

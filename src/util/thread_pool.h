@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel_token.h"
+
 namespace tracer::util {
 
 class ThreadPool {
@@ -49,8 +51,14 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Exceptions from tasks are rethrown (first one wins), and a failure
+  /// stops the sweep: indices whose task has not started yet are skipped
+  /// rather than run against a doomed sweep. When `cancel` is non-null,
+  /// cancellation likewise skips not-yet-started indices; the call then
+  /// returns normally once in-flight tasks drain (callers observe the
+  /// token to distinguish a cancelled sweep from a complete one).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    CancelToken* cancel = nullptr);
 
  private:
   void worker_loop();

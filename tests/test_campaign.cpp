@@ -1,0 +1,295 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+
+namespace tracer::core {
+namespace {
+
+workload::WorkloadMode make_mode(double load) {
+  workload::WorkloadMode mode;
+  mode.request_size = 16 * kKiB;
+  mode.random_ratio = 0.5;
+  mode.read_ratio = 0.5;
+  mode.load_proportion = load;
+  return mode;
+}
+
+std::vector<workload::WorkloadMode> ten_loads() {
+  std::vector<workload::WorkloadMode> modes;
+  for (int l = 1; l <= 10; ++l) modes.push_back(make_mode(l / 10.0));
+  return modes;
+}
+
+/// Fast deterministic executor standing in for EvaluationHost::run_test.
+db::TestRecord fake_record(const workload::WorkloadMode& mode) {
+  db::TestRecord record;
+  record.timestamp = "2026-08-06T00:00:00Z";
+  record.device = "fake-array";
+  record.request_size = mode.request_size;
+  record.random_ratio = mode.random_ratio;
+  record.read_ratio = mode.read_ratio;
+  record.load_proportion = mode.load_proportion;
+  record.iops = 1000.0 * mode.load_proportion;
+  record.avg_watts = 80.0;
+  record.iops_per_watt = record.iops / record.avg_watts;
+  return record;
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    journal_ = std::filesystem::temp_directory_path() /
+               ("tracer_campaign_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".csv");
+    std::filesystem::remove(journal_);
+  }
+  void TearDown() override { std::filesystem::remove(journal_); }
+
+  CampaignOptions fast_options() {
+    CampaignOptions options;
+    options.max_retries = 0;
+    options.retry_backoff = 0.0;
+    options.threads = 2;
+    return options;
+  }
+
+  std::filesystem::path journal_;
+};
+
+TEST_F(CampaignTest, AllTestsCompleteAndStayInInputOrder) {
+  CampaignRunner runner(fake_record, "fake-array", fast_options());
+  const auto modes = ten_loads();
+  const CampaignReport report = runner.run(modes);
+  ASSERT_EQ(report.outcomes.size(), modes.size());
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.completed(), modes.size());
+  EXPECT_EQ(report.retries, 0u);
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].status, TestStatus::kCompleted);
+    EXPECT_DOUBLE_EQ(report.outcomes[i].record.load_proportion,
+                     modes[i].load_proportion);
+    EXPECT_EQ(report.outcomes[i].attempts, 1);
+  }
+}
+
+TEST_F(CampaignTest, InjectedFailureIsIsolatedToOneSlot) {
+  CampaignOptions options = fast_options();
+  options.fail_test = [](const workload::WorkloadMode& mode, int) {
+    return mode.load_proportion == 0.5;
+  };
+  CampaignRunner runner(fake_record, "fake-array", options);
+  const CampaignReport report = runner.run(ten_loads());
+  EXPECT_EQ(report.completed(), 9u);
+  ASSERT_EQ(report.failed(), 1u);
+  EXPECT_FALSE(report.all_ok());
+  const TestOutcome& failed = report.outcomes[4];  // load 0.5 is slot 5
+  EXPECT_EQ(failed.status, TestStatus::kFailed);
+  EXPECT_NE(failed.error.find("injected fault"), std::string::npos);
+}
+
+TEST_F(CampaignTest, TransientFailureRecoversViaRetry) {
+  CampaignOptions options = fast_options();
+  options.max_retries = 2;
+  options.fail_test = [](const workload::WorkloadMode&, int attempt) {
+    return attempt == 0;  // first attempt of every test fails
+  };
+  CampaignRunner runner(fake_record, "fake-array", options);
+  const CampaignReport report = runner.run(ten_loads());
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.completed(), 10u);
+  EXPECT_EQ(report.retries, 10u);
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_EQ(outcome.attempts, 2);
+  }
+}
+
+TEST_F(CampaignTest, RetriesAreBoundedThenFail) {
+  CampaignOptions options = fast_options();
+  options.max_retries = 1;
+  options.fail_test = [](const workload::WorkloadMode&, int) { return true; };
+  CampaignRunner runner(fake_record, "fake-array", options);
+  const CampaignReport report = runner.run({make_mode(0.5)});
+  ASSERT_EQ(report.failed(), 1u);
+  EXPECT_EQ(report.outcomes[0].attempts, 2);  // initial + one retry
+  EXPECT_EQ(report.retries, 1u);
+}
+
+TEST_F(CampaignTest, JournalResumeSkipsCompletedPairs) {
+  const auto modes = ten_loads();
+
+  // Run 1 ("process" 1): one injected hard failure at load 0.3.
+  {
+    CampaignOptions options = fast_options();
+    options.journal_path = journal_;
+    options.fail_test = [](const workload::WorkloadMode& mode, int) {
+      return mode.load_proportion == 0.3;
+    };
+    CampaignRunner runner(fake_record, "fake-array", options);
+    const CampaignReport report = runner.run(modes);
+    EXPECT_EQ(report.completed(), 9u);
+    EXPECT_EQ(report.failed(), 1u);
+  }
+
+  // Run 2 (fresh runner = restarted process): only the failed pair runs.
+  std::atomic<int> executor_calls{0};
+  std::mutex seen_mutex;
+  std::set<double> seen_loads;
+  {
+    CampaignOptions options = fast_options();
+    options.journal_path = journal_;
+    CampaignRunner runner(
+        [&](const workload::WorkloadMode& mode) {
+          ++executor_calls;
+          {
+            std::lock_guard<std::mutex> lock(seen_mutex);
+            seen_loads.insert(mode.load_proportion);
+          }
+          return fake_record(mode);
+        },
+        "fake-array", options);
+    const CampaignReport report = runner.run(modes);
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_EQ(report.skipped(), 9u);
+    EXPECT_EQ(report.completed(), 1u);
+    // Skipped slots carry the journaled record, so the full result table
+    // is available without re-running anything.
+    for (const auto& outcome : report.outcomes) {
+      EXPECT_GT(outcome.record.iops, 0.0);
+    }
+  }
+  EXPECT_EQ(executor_calls.load(), 1);
+  EXPECT_EQ(seen_loads, std::set<double>{0.3});
+
+  // Run 3: everything on record now; the executor is never invoked.
+  {
+    CampaignOptions options = fast_options();
+    options.journal_path = journal_;
+    CampaignRunner runner(
+        [&](const workload::WorkloadMode& mode) {
+          ++executor_calls;
+          return fake_record(mode);
+        },
+        "fake-array", options);
+    const CampaignReport report = runner.run(modes);
+    EXPECT_EQ(report.skipped(), modes.size());
+    EXPECT_EQ(report.completed(), 0u);
+  }
+  EXPECT_EQ(executor_calls.load(), 1);
+}
+
+TEST_F(CampaignTest, JournalSurvivesTornTailRow) {
+  const auto modes = ten_loads();
+  {
+    CampaignOptions options = fast_options();
+    options.journal_path = journal_;
+    CampaignRunner runner(fake_record, "fake-array", options);
+    runner.run(modes);
+  }
+  {
+    // Simulate a crash mid-append: a half-written row at the tail.
+    std::ofstream out(journal_, std::ios::app);
+    out << "999,2026-08-06T00:00:00Z,fake-array,half-a-row";
+  }
+  const auto records = db::CampaignJournal::load(journal_);
+  EXPECT_EQ(records.size(), modes.size());  // torn row skipped, not fatal
+  CampaignOptions options = fast_options();
+  options.journal_path = journal_;
+  CampaignRunner runner(fake_record, "fake-array", options);
+  const CampaignReport report = runner.run(modes);
+  EXPECT_EQ(report.skipped(), modes.size());
+}
+
+TEST_F(CampaignTest, CancellationStopsRemainingTests) {
+  CampaignOptions options = fast_options();
+  options.threads = 1;  // deterministic: tests run in order
+  CampaignRunner* runner_ptr = nullptr;
+  std::atomic<int> executed{0};
+  CampaignRunner runner(
+      [&](const workload::WorkloadMode& mode) {
+        if (++executed == 3) runner_ptr->cancel_token().request_cancel();
+        return fake_record(mode);
+      },
+      "fake-array", options);
+  runner_ptr = &runner;
+  const CampaignReport report = runner.run(ten_loads());
+  EXPECT_EQ(executed.load(), 3);
+  EXPECT_EQ(report.completed(), 3u);
+  EXPECT_EQ(report.cancelled(), 7u);
+  for (std::size_t i = 3; i < report.outcomes.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].status, TestStatus::kCancelled);
+    EXPECT_EQ(report.outcomes[i].attempts, 0);
+  }
+}
+
+TEST_F(CampaignTest, ProgressStreamsCountsAndEta) {
+  CampaignOptions options = fast_options();
+  options.threads = 1;
+  std::vector<CampaignProgress> updates;
+  options.on_progress = [&updates](const CampaignProgress& p) {
+    updates.push_back(p);
+  };
+  CampaignRunner runner(fake_record, "fake-array", options);
+  runner.run(ten_loads());
+  ASSERT_EQ(updates.size(), 10u);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].total, 10u);
+    EXPECT_EQ(updates[i].completed, i + 1);
+    EXPECT_GE(updates[i].elapsed, 0.0);
+    EXPECT_GE(updates[i].eta, 0.0);
+  }
+  EXPECT_EQ(updates.back().processed(), 10u);
+  EXPECT_DOUBLE_EQ(updates.back().eta, 0.0);
+}
+
+TEST(CampaignJournalTest, RoundTripsRecords) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("tracer_journal_rt_" + std::to_string(::getpid()) +
+                     ".csv");
+  std::filesystem::remove(path);
+  db::TestRecord record = fake_record(make_mode(0.7));
+  record.test_id = 42;
+  record.trace_name = "trace,with\"quotes";  // must survive CSV escaping
+  {
+    db::CampaignJournal journal(path);
+    journal.append(record);
+  }
+  const auto loaded = db::CampaignJournal::load(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].test_id, 42u);
+  EXPECT_EQ(loaded[0].trace_name, record.trace_name);
+  EXPECT_EQ(loaded[0].device, record.device);
+  EXPECT_NEAR(loaded[0].load_proportion, 0.7, 1e-6);
+  EXPECT_NEAR(loaded[0].iops, record.iops, 0.01);
+  // Appending to an existing journal must not duplicate the header.
+  {
+    db::CampaignJournal journal(path);
+    journal.append(record);
+  }
+  EXPECT_EQ(db::CampaignJournal::load(path).size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignJournalTest, MissingFileIsEmpty) {
+  EXPECT_TRUE(db::CampaignJournal::load("/nonexistent/journal.csv").empty());
+}
+
+TEST(CampaignJournalTest, KeyDistinguishesLoadLevels) {
+  EXPECT_NE(db::CampaignJournal::key("t", 0.1),
+            db::CampaignJournal::key("t", 0.2));
+  EXPECT_EQ(db::CampaignJournal::key("t", 0.1),
+            db::CampaignJournal::key("t", 0.1));
+  EXPECT_NE(db::CampaignJournal::key("a", 0.1),
+            db::CampaignJournal::key("b", 0.1));
+}
+
+}  // namespace
+}  // namespace tracer::core

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "util/cancel_token.h"
 #include "workload/cello_model.h"
 
 namespace tracer::core {
@@ -88,16 +89,50 @@ TEST_F(EvaluationHostTest, SweepRunsAllModesInParallel) {
   EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
   std::vector<workload::WorkloadMode> modes;
   for (double load : {0.2, 0.4, 0.6, 0.8}) modes.push_back(mode(load));
-  const auto results = host.run_sweep(modes);
-  ASSERT_EQ(results.size(), 4u);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    EXPECT_DOUBLE_EQ(results[i].record.load_proportion,
+  const auto outcomes = host.run_sweep(modes);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+    EXPECT_DOUBLE_EQ(outcomes[i].result->record.load_proportion,
                      modes[i].load_proportion);
-    EXPECT_GT(results[i].record.iops, 0.0);
+    EXPECT_GT(outcomes[i].result->record.iops, 0.0);
   }
   // Throughput ordered by load.
-  EXPECT_LT(results[0].record.iops, results[3].record.iops);
+  EXPECT_LT(outcomes[0].result->record.iops,
+            outcomes[3].result->record.iops);
   EXPECT_EQ(host.database().size(), 4u);
+}
+
+TEST_F(EvaluationHostTest, SweepIsolatesFailingTest) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  // Load 0.04 is below the proportional filter's resolution floor, so that
+  // one test throws; the other slots must still complete.
+  std::vector<workload::WorkloadMode> modes = {mode(0.5), mode(0.04),
+                                               mode(1.0)};
+  const auto outcomes = host.run_sweep(modes);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_NE(outcomes[1].error.find("resolution floor"), std::string::npos)
+      << outcomes[1].error;
+  EXPECT_TRUE(outcomes[2].ok()) << outcomes[2].error;
+  EXPECT_EQ(host.database().size(), 2u);
+}
+
+TEST_F(EvaluationHostTest, SweepHonoursCancellation) {
+  options_.threads = 1;
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  std::vector<workload::WorkloadMode> modes;
+  for (double load : {0.2, 0.4, 0.6, 0.8}) modes.push_back(mode(load));
+  util::CancelToken cancel;
+  cancel.request_cancel();  // cancelled before the sweep starts
+  const auto outcomes = host.run_sweep(modes, &cancel);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error, "cancelled");
+  }
+  EXPECT_EQ(host.database().size(), 0u);
 }
 
 TEST_F(EvaluationHostTest, RepositoryPersistsAcrossHosts) {

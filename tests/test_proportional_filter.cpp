@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace tracer::core {
 namespace {
@@ -83,6 +85,37 @@ TEST(ProportionalFilter, SelectCountRounding) {
                std::invalid_argument);
   EXPECT_THROW(ProportionalFilter::select_count_for(1.5, 10),
                std::invalid_argument);
+}
+
+TEST(ProportionalFilter, SubFloorProportionThrowsInsteadOfClamping) {
+  // Below 1/(2*group_size) the nearest representable selection is zero
+  // bunches; the old clamp replayed these at 1/group_size load (0.04
+  // silently became 10 %). Now they are refused with a pointer to
+  // InterarrivalScaler.
+  EXPECT_THROW(ProportionalFilter::select_count_for(0.04, 10),
+               std::domain_error);
+  EXPECT_THROW(ProportionalFilter::select_count_for(0.01, 10),
+               std::domain_error);
+  EXPECT_THROW(ProportionalFilter::select_count_for(0.004, 100),
+               std::domain_error);
+  // The floor scales with group size: 0.04 is representable at group 100.
+  EXPECT_EQ(ProportionalFilter::select_count_for(0.04, 100), 4u);
+  // Exactly at the floor still rounds up to one bunch per group.
+  EXPECT_EQ(ProportionalFilter::select_count_for(0.05, 10), 1u);
+  try {
+    ProportionalFilter::select_count_for(0.04, 10);
+    FAIL() << "expected std::domain_error";
+  } catch (const std::domain_error& e) {
+    EXPECT_NE(std::string(e.what()).find("InterarrivalScaler"),
+              std::string::npos);
+  }
+}
+
+TEST(ProportionalFilter, SubFloorProportionThrowsFromApply) {
+  const trace::Trace trace = uniform_trace(100);
+  EXPECT_THROW(ProportionalFilter::apply(trace, 0.04), std::domain_error);
+  EXPECT_THROW(ProportionalFilter::apply_random(trace, 0.04, /*seed=*/1),
+               std::domain_error);
 }
 
 TEST(ProportionalFilter, EveryCompleteGroupContributesExactlyK) {

@@ -90,6 +90,31 @@ TEST_F(RemoteTest, StartWithoutConfigureIsError) {
   EXPECT_EQ(service.handle(start).type, net::MessageType::kError);
 }
 
+TEST_F(RemoteTest, ThrowingTestBecomesErrorReplyAndServiceSurvives) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  WorkloadGeneratorService service(host);
+
+  // 4 % load is below the proportional filter's resolution floor, so the
+  // test throws; the service must answer with an ERROR frame, not unwind.
+  net::Message configure = encode_mode(mode(0.04));
+  configure.sequence = 1;
+  EXPECT_EQ(service.handle(configure).type, net::MessageType::kAck);
+  net::Message start;
+  start.type = net::MessageType::kStartTest;
+  start.sequence = 2;
+  const net::Message error = service.handle(start);
+  EXPECT_EQ(error.type, net::MessageType::kError);
+  ASSERT_TRUE(error.get("reason").has_value());
+  EXPECT_NE(error.get("reason")->find("resolution floor"), std::string::npos);
+
+  // The host is still healthy: the next valid test runs normally.
+  net::Message reconfigure = encode_mode(mode(0.5));
+  reconfigure.sequence = 3;
+  EXPECT_EQ(service.handle(reconfigure).type, net::MessageType::kAck);
+  start.sequence = 4;
+  EXPECT_EQ(service.handle(start).type, net::MessageType::kPerfResult);
+}
+
 TEST_F(RemoteTest, FullClientServerExchangeOverChannel) {
   EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
   auto [client_end, server_end] = net::make_channel();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/proportional_filter.h"
 #include "storage/disk_array.h"
 #include "util/rng.h"
@@ -204,6 +206,53 @@ TEST(ReplayEngine, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.perf.iops, b.perf.iops);
   EXPECT_DOUBLE_EQ(a.avg_watts, b.avg_watts);
   EXPECT_DOUBLE_EQ(a.replay_duration, b.replay_duration);
+}
+
+TEST(WrapSector, CanPlaceRequestAtLastValidStartSector) {
+  // 100-sector device, 8-sector request: valid starts are [0, 92]
+  // inclusive. The old `% usable` folded 92 onto 0.
+  const Bytes capacity = 100 * kSectorSize;
+  const Bytes bytes = 8 * kSectorSize;
+  EXPECT_EQ(wrap_sector(0, bytes, capacity), 0u);
+  EXPECT_EQ(wrap_sector(91, bytes, capacity), 91u);
+  EXPECT_EQ(wrap_sector(92, bytes, capacity), 92u);
+  EXPECT_EQ(wrap_sector(93, bytes, capacity), 0u);  // first folded sector
+  EXPECT_EQ(wrap_sector(93 + 92, bytes, capacity), 92u);
+}
+
+TEST(WrapSector, RequestExactlyFillingDeviceIsValid) {
+  // A request the size of the whole device has exactly one valid start
+  // sector (0); the old `<=` guard wrongly rejected it.
+  const Bytes capacity = 64 * kSectorSize;
+  const Bytes bytes = 64 * kSectorSize;
+  EXPECT_EQ(wrap_sector(0, bytes, capacity), 0u);
+  EXPECT_EQ(wrap_sector(123456, bytes, capacity), 0u);
+}
+
+TEST(WrapSector, RejectsRequestLargerThanDevice) {
+  EXPECT_THROW(wrap_sector(0, 65 * kSectorSize, 64 * kSectorSize),
+               std::invalid_argument);
+}
+
+TEST(WrapSector, SubSectorRequestsRoundUpToOneSector) {
+  // 1-byte request occupies one sector; valid starts are [0, 63].
+  const Bytes capacity = 64 * kSectorSize;
+  EXPECT_EQ(wrap_sector(63, 1, capacity), 63u);
+  EXPECT_EQ(wrap_sector(64, 1, capacity), 0u);
+}
+
+TEST(WrapSector, ResultAlwaysFitsOnDevice) {
+  const Bytes capacity = 1000 * kSectorSize;
+  for (Bytes bytes : {Bytes{1}, Bytes{512}, Bytes{4096}, Bytes{65536},
+                      Bytes{1000 * 512}}) {
+    const Sector request_sectors =
+        std::max<Sector>(1, (bytes + kSectorSize - 1) / kSectorSize);
+    for (Sector sector = 0; sector < 4096; sector += 7) {
+      const Sector wrapped = wrap_sector(sector, bytes, capacity);
+      EXPECT_LE(wrapped + request_sectors, capacity / kSectorSize)
+          << "sector=" << sector << " bytes=" << bytes;
+    }
+  }
 }
 
 }  // namespace

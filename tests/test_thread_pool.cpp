@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
@@ -53,6 +54,73 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
                           if (i == 3) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForStopsRunningWorkAfterFailure) {
+  // One worker makes execution order deterministic: index 0 throws, so no
+  // later index may run — queued tasks skip themselves once the sweep has
+  // failed instead of burning time on a doomed run.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&executed](std::size_t i) {
+                                   ++executed;
+                                   if (i == 0) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSkipsEverythingWhenAlreadyCancelled) {
+  ThreadPool pool(2);
+  CancelToken cancel;
+  cancel.request_cancel();
+  std::atomic<int> executed{0};
+  pool.parallel_for(
+      50, [&executed](std::size_t) { ++executed; }, &cancel);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForStopsAfterMidRunCancellation) {
+  ThreadPool pool(1);
+  CancelToken cancel;
+  std::atomic<int> executed{0};
+  pool.parallel_for(
+      100,
+      [&executed, &cancel](std::size_t i) {
+        ++executed;
+        if (i == 2) cancel.request_cancel();
+      },
+      &cancel);
+  EXPECT_EQ(executed.load(), 3);  // indices 0..2, then the rest skipped
+}
+
+TEST(CancelToken, SleepRunsToCompletionWhenNotCancelled) {
+  CancelToken token;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(token.sleep_for(0.02));
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed.count(), 0.015);
+}
+
+TEST(CancelToken, SleepWakesEarlyOnCancellation) {
+  CancelToken token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.request_cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(token.sleep_for(30.0));
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  canceller.join();
+  EXPECT_LT(elapsed.count(), 5.0);  // nowhere near the 30 s request
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
 }
 
 TEST(ThreadPool, TaskExceptionSurfacesViaFuture) {
