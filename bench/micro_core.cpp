@@ -3,11 +3,13 @@
 // whole replay. These are throughput guards, not paper figures.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <sstream>
 
 #include "core/proportional_filter.h"
 #include "power/power_timeline.h"
 #include "trace/srt_format.h"
+#include "trace/trace_view.h"
 #include "util/spsc_queue.h"
 #include "workload/cello_model.h"
 #include "workload/zipf.h"
@@ -54,6 +56,23 @@ void BM_ProportionalFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_ProportionalFilter)->Arg(10)->Arg(50)->Arg(100);
 
+// Zero-copy counterpart of BM_ProportionalFilter: selects the same bunches
+// but returns an index view over the shared trace instead of copying every
+// Bunch. The permanent before/after comparison for the view pipeline.
+void BM_TraceViewFilter(benchmark::State& state) {
+  const auto shared =
+      std::make_shared<const trace::Trace>(make_trace(50000, 8));
+  const trace::TraceView view(shared);
+  const double proportion = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto filtered = core::ProportionalFilter::apply(view, proportion);
+    benchmark::DoNotOptimize(filtered.bunch_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared->bunch_count()));
+}
+BENCHMARK(BM_TraceViewFilter)->Arg(10)->Arg(50)->Arg(100);
+
 void BM_BlkFormatWrite(benchmark::State& state) {
   const trace::Trace trace = make_trace(10000, 8);
   for (auto _ : state) {
@@ -66,7 +85,24 @@ void BM_BlkFormatWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_BlkFormatWrite);
 
+// Baseline: the reference per-field streamed decoder.
 void BM_BlkFormatRead(benchmark::State& state) {
+  const trace::Trace trace = make_trace(10000, 8);
+  std::ostringstream out;
+  trace::write_blk(out, trace);
+  const std::string data = out.str();
+  for (auto _ : state) {
+    std::istringstream in(data);
+    auto loaded = trace::read_blk_streamed(in);
+    benchmark::DoNotOptimize(loaded.bunches.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.package_count()));
+}
+BENCHMARK(BM_BlkFormatRead);
+
+// The production path: one bulk read per bunch's package array.
+void BM_BlkReadBulk(benchmark::State& state) {
   const trace::Trace trace = make_trace(10000, 8);
   std::ostringstream out;
   trace::write_blk(out, trace);
@@ -79,7 +115,7 @@ void BM_BlkFormatRead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(trace.package_count()));
 }
-BENCHMARK(BM_BlkFormatRead);
+BENCHMARK(BM_BlkReadBulk);
 
 void BM_SimulatorEvents(benchmark::State& state) {
   for (auto _ : state) {

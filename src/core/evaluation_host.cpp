@@ -30,13 +30,15 @@ EvaluationHost::EvaluationHost(const storage::ArrayConfig& array,
       options_(options) {}
 
 trace::Trace EvaluationHost::peak_trace(const workload::WorkloadMode& mode) {
-  const trace::TraceKey key = mode.trace_key(array_.name);
-  {
-    std::lock_guard<std::mutex> lock(collect_mutex_);
-    if (repository_.contains(key)) return repository_.load(key);
-  }
-  // Collect outside the lock: independent modes may collect in parallel;
-  // the store below is idempotent (same mode -> same deterministic trace).
+  return *peak_trace_shared(mode);
+}
+
+trace::Trace EvaluationHost::build_peak_trace(
+    const trace::TraceKey& key, const workload::WorkloadMode& mode) {
+  if (repository_.contains(key)) return repository_.load(key);
+  // Independent keys may collect in parallel; the per-key future in
+  // peak_trace_shared already serialises same-key builds, and the store is
+  // idempotent (same mode -> same deterministic trace).
   sim::Simulator sim;
   storage::DiskArray array(sim, array_);
   workload::SyntheticParams params = workload::SyntheticParams::from_mode(
@@ -51,17 +53,63 @@ trace::Trace EvaluationHost::peak_trace(const workload::WorkloadMode& mode) {
                     << result.trace.bunch_count() << " bunches, "
                     << result.requests << " requests, "
                     << result.achieved_iops << " IOPS";
-  {
-    std::lock_guard<std::mutex> lock(collect_mutex_);
-    if (!repository_.contains(key)) repository_.store(key, result.trace);
-  }
+  if (!repository_.contains(key)) repository_.store(key, result.trace);
   return result.trace;
 }
 
-TestResult EvaluationHost::replay_filtered(const trace::Trace& peak,
+std::shared_ptr<const trace::Trace> EvaluationHost::peak_trace_shared(
+    const workload::WorkloadMode& mode) {
+  const trace::TraceKey key = mode.trace_key(array_.name);
+  const std::string cache_key = key.file_name();
+
+  std::shared_future<SharedTrace> future;
+  std::promise<SharedTrace> promise;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = peak_cache_.find(cache_key);
+    if (it == peak_cache_.end()) {
+      builder = true;
+      future = promise.get_future().share();
+      peak_cache_.emplace(cache_key, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (builder) {
+    // Build outside the lock so distinct keys still collect in parallel.
+    try {
+      auto built = std::make_shared<const trace::Trace>(
+          build_peak_trace(key, mode));
+      peak_builds_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::move(built));
+    } catch (...) {
+      // Evict first so a later call can retry; waiters holding this future
+      // still observe the exception.
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        peak_cache_.erase(cache_key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t EvaluationHost::peak_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return peak_cache_.size();
+}
+
+void EvaluationHost::clear_peak_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  peak_cache_.clear();
+}
+
+TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
                                            const std::string& trace_name,
                                            const workload::WorkloadMode& mode) {
-  const trace::Trace filtered =
+  const trace::TraceView filtered =
       mode.load_proportion >= 1.0
           ? peak
           : ProportionalFilter::apply(peak, mode.load_proportion);
@@ -103,7 +151,9 @@ TestResult EvaluationHost::replay_filtered(const trace::Trace& peak,
 }
 
 TestResult EvaluationHost::run_test(const workload::WorkloadMode& mode) {
-  const trace::Trace peak = peak_trace(mode);
+  // Shared immutable peak trace: all load levels of this mode replay views
+  // over one cached instance instead of each regenerating/copying it.
+  trace::TraceView peak(peak_trace_shared(mode));
   return replay_filtered(peak, mode.trace_key(array_.name).file_name(), mode);
 }
 
@@ -115,7 +165,8 @@ TestResult EvaluationHost::run_trace(const trace::Trace& trace,
   mode.read_ratio = trace.read_ratio();
   mode.random_ratio = 0.0;  // unknown for external traces
   mode.load_proportion = load_proportion;
-  return replay_filtered(trace, trace_name, mode);
+  // Borrow: `trace` stays alive for this synchronous call.
+  return replay_filtered(trace::TraceView::borrowed(trace), trace_name, mode);
 }
 
 std::vector<SweepOutcome> EvaluationHost::run_sweep(

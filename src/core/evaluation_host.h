@@ -9,10 +9,13 @@
 // workload-generator machines and multi-channel power analyzers.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/metrics.h"
@@ -20,6 +23,7 @@
 #include "db/database.h"
 #include "storage/disk_array.h"
 #include "trace/repository.h"
+#include "trace/trace_view.h"
 #include "workload/workload_mode.h"
 
 namespace tracer::util {
@@ -61,7 +65,28 @@ class EvaluationHost {
 
   /// Fetch the peak trace for a mode from the repository, collecting it
   /// first (IOmeter-style saturation run + trace collector) when absent.
+  /// Returns a copy; prefer peak_trace_shared on hot paths.
   trace::Trace peak_trace(const workload::WorkloadMode& mode);
+
+  /// Shared, immutable peak trace for a mode. The 10 load levels of one
+  /// workload mode (and every filter view derived from them) share ONE
+  /// generated/parsed trace: a per-key shared_future guarantees the build
+  /// happens exactly once even when run_sweep hammers the same key from
+  /// many ThreadPool workers concurrently. Cached traces are immutable
+  /// shared state — never mutate through the pointer (docs/MODELS.md).
+  std::shared_ptr<const trace::Trace> peak_trace_shared(
+      const workload::WorkloadMode& mode);
+
+  /// How many times a peak trace was actually generated or parsed (cache
+  /// misses). A 10-level sweep over one mode leaves this at 1.
+  std::uint64_t peak_build_count() const { return peak_builds_.load(); }
+
+  /// Number of peak traces currently cached in memory.
+  std::size_t peak_cache_size() const;
+
+  /// Drop cached peak traces (repository files are untouched). Traces
+  /// still referenced by in-flight tests stay alive via shared ownership.
+  void clear_peak_cache();
 
   /// Run one test: filter the mode's peak trace to mode.load_proportion,
   /// replay on a fresh array instance, meter, record.
@@ -91,15 +116,24 @@ class EvaluationHost {
   trace::TraceRepository& repository() { return repository_; }
 
  private:
-  TestResult replay_filtered(const trace::Trace& peak,
+  TestResult replay_filtered(const trace::TraceView& peak,
                              const std::string& trace_name,
                              const workload::WorkloadMode& mode);
+
+  /// Generate (saturation run) or load (repository) the peak trace for a
+  /// key — the slow path behind the cache.
+  trace::Trace build_peak_trace(const trace::TraceKey& key,
+                                const workload::WorkloadMode& mode);
 
   storage::ArrayConfig array_;
   trace::TraceRepository repository_;
   EvaluationOptions options_;
   db::Database database_;
-  std::mutex collect_mutex_;  ///< serialises on-demand trace collection
+  using SharedTrace = std::shared_ptr<const trace::Trace>;
+  mutable std::mutex cache_mutex_;  ///< guards peak_cache_ (not the builds)
+  std::unordered_map<std::string, std::shared_future<SharedTrace>>
+      peak_cache_;
+  std::atomic<std::uint64_t> peak_builds_{0};
 };
 
 }  // namespace tracer::core

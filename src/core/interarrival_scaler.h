@@ -10,6 +10,7 @@
 #pragma once
 
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace tracer::core {
 
@@ -18,9 +19,16 @@ class InterarrivalScaler {
   /// Scale intensity by `factor` in (0, +inf): timestamps divide by factor.
   static trace::Trace scale(const trace::Trace& trace, double factor);
 
+  /// Zero-copy variant: no bunch is touched; the view remaps timestamps
+  /// lazily at iteration time (TraceView::timestamp).
+  static trace::TraceView scale(const trace::TraceView& view, double factor);
+
   /// Convenience: rescale so the trace spans `target_duration` seconds.
   static trace::Trace scale_to_duration(const trace::Trace& trace,
                                         Seconds target_duration);
+
+  static trace::TraceView scale_to_duration(const trace::TraceView& view,
+                                            Seconds target_duration);
 };
 
 }  // namespace tracer::core

@@ -8,6 +8,71 @@
 
 namespace tracer::core {
 
+namespace {
+
+using Index = trace::TraceView::Index;
+
+// Selected positions under the uniform pattern for a sequence of `count`
+// bunches. Shared by the materializing and view paths so they are
+// bunch-for-bunch identical by construction.
+std::vector<Index> uniform_positions(std::size_t count,
+                                     const std::vector<bool>& pattern,
+                                     std::size_t select_count,
+                                     std::size_t group_size) {
+  std::vector<Index> positions;
+  positions.reserve(count * select_count / group_size + 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pattern[i % group_size]) {
+      positions.push_back(static_cast<Index>(i));
+    }
+  }
+  return positions;
+}
+
+// Selected positions for the random-within-group baseline. The RNG draw
+// sequence matches the original materializing implementation, so a given
+// seed selects the same bunches on either path.
+std::vector<Index> random_positions(std::size_t count, std::size_t select_count,
+                                    std::size_t group_size,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Index> selected;
+  selected.reserve(count * select_count / group_size + select_count);
+  std::vector<std::size_t> positions(group_size);
+  for (std::size_t group_start = 0; group_start < count;
+       group_start += group_size) {
+    const std::size_t group_len = std::min(group_size, count - group_start);
+    // Partial Fisher-Yates: draw `take` distinct positions within the group.
+    positions.resize(group_len);
+    for (std::size_t i = 0; i < group_len; ++i) positions[i] = i;
+    const std::size_t take = std::min(select_count, group_len);
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(group_len - i));
+      std::swap(positions[i], positions[j]);
+    }
+    std::sort(positions.begin(),
+              positions.begin() + static_cast<std::ptrdiff_t>(take));
+    for (std::size_t i = 0; i < take; ++i) {
+      selected.push_back(static_cast<Index>(group_start + positions[i]));
+    }
+  }
+  return selected;
+}
+
+trace::Trace copy_positions(const trace::Trace& trace,
+                            const std::vector<Index>& positions) {
+  trace::Trace out;
+  out.device = trace.device;
+  out.bunches.reserve(positions.size());
+  for (const Index i : positions) {
+    out.bunches.push_back(trace.bunches[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<bool> ProportionalFilter::selection_pattern(
     std::size_t group_size, std::size_t select_count) {
   if (group_size == 0 || select_count == 0 || select_count > group_size) {
@@ -50,16 +115,17 @@ trace::Trace ProportionalFilter::apply(const trace::Trace& trace,
                                        std::size_t group_size) {
   const std::size_t k = select_count_for(proportion, group_size);
   const auto pattern = selection_pattern(group_size, k);
+  return copy_positions(
+      trace, uniform_positions(trace.bunches.size(), pattern, k, group_size));
+}
 
-  trace::Trace out;
-  out.device = trace.device;
-  out.bunches.reserve(trace.bunches.size() * k / group_size + 1);
-  for (std::size_t i = 0; i < trace.bunches.size(); ++i) {
-    if (pattern[i % group_size]) {
-      out.bunches.push_back(trace.bunches[i]);
-    }
-  }
-  return out;
+trace::TraceView ProportionalFilter::apply(const trace::TraceView& view,
+                                           double proportion,
+                                           std::size_t group_size) {
+  const std::size_t k = select_count_for(proportion, group_size);
+  const auto pattern = selection_pattern(group_size, k);
+  return view.select(
+      uniform_positions(view.bunch_count(), pattern, k, group_size));
 }
 
 trace::Trace ProportionalFilter::apply_random(const trace::Trace& trace,
@@ -67,31 +133,16 @@ trace::Trace ProportionalFilter::apply_random(const trace::Trace& trace,
                                               std::uint64_t seed,
                                               std::size_t group_size) {
   const std::size_t k = select_count_for(proportion, group_size);
-  util::Rng rng(seed);
+  return copy_positions(
+      trace, random_positions(trace.bunches.size(), k, group_size, seed));
+}
 
-  trace::Trace out;
-  out.device = trace.device;
-  std::vector<std::size_t> positions(group_size);
-  for (std::size_t group_start = 0; group_start < trace.bunches.size();
-       group_start += group_size) {
-    const std::size_t group_len =
-        std::min(group_size, trace.bunches.size() - group_start);
-    // Partial Fisher-Yates: draw k distinct positions within the group.
-    positions.resize(group_len);
-    for (std::size_t i = 0; i < group_len; ++i) positions[i] = i;
-    const std::size_t take = std::min(k, group_len);
-    for (std::size_t i = 0; i < take; ++i) {
-      const std::size_t j =
-          i + static_cast<std::size_t>(rng.below(group_len - i));
-      std::swap(positions[i], positions[j]);
-    }
-    std::sort(positions.begin(),
-              positions.begin() + static_cast<std::ptrdiff_t>(take));
-    for (std::size_t i = 0; i < take; ++i) {
-      out.bunches.push_back(trace.bunches[group_start + positions[i]]);
-    }
-  }
-  return out;
+trace::TraceView ProportionalFilter::apply_random(const trace::TraceView& view,
+                                                  double proportion,
+                                                  std::uint64_t seed,
+                                                  std::size_t group_size) {
+  const std::size_t k = select_count_for(proportion, group_size);
+  return view.select(random_positions(view.bunch_count(), k, group_size, seed));
 }
 
 }  // namespace tracer::core

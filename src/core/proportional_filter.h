@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 #include "util/rng.h"
 
 namespace tracer::core {
@@ -42,11 +43,25 @@ class ProportionalFilter {
   static trace::Trace apply(const trace::Trace& trace, double proportion,
                             std::size_t group_size = kDefaultGroupSize);
 
+  /// Zero-copy variant: selects the same bunches as `apply` but returns a
+  /// view (index selection over the shared trace) instead of copying every
+  /// Bunch. Bunch-for-bunch identical replay input to the materializing
+  /// path (see test_trace_view).
+  static trace::TraceView apply(const trace::TraceView& view,
+                                double proportion,
+                                std::size_t group_size = kDefaultGroupSize);
+
   /// Random-within-group baseline (ablation): selects the same number of
   /// bunches per group but at random positions.
   static trace::Trace apply_random(const trace::Trace& trace,
                                    double proportion, std::uint64_t seed,
                                    std::size_t group_size = kDefaultGroupSize);
+
+  /// Zero-copy variant of `apply_random`; same seed selects the same
+  /// bunches as the materializing path.
+  static trace::TraceView apply_random(
+      const trace::TraceView& view, double proportion, std::uint64_t seed,
+      std::size_t group_size = kDefaultGroupSize);
 };
 
 }  // namespace tracer::core

@@ -67,7 +67,12 @@ RealtimeReplayer::RealtimeReplayer(double speed) : speed_(speed) {
 
 RealtimeReport RealtimeReplayer::replay(const trace::Trace& trace,
                                         RealtimeTarget& target) {
-  if (trace.empty()) {
+  return replay(trace::TraceView::borrowed(trace), target);
+}
+
+RealtimeReport RealtimeReplayer::replay(const trace::TraceView& view,
+                                        RealtimeTarget& target) {
+  if (view.empty()) {
     throw std::invalid_argument("RealtimeReplayer: empty trace");
   }
 
@@ -83,14 +88,14 @@ RealtimeReport RealtimeReplayer::replay(const trace::Trace& trace,
   std::uint64_t next_id = 1;
   double max_skew = 0.0;
 
-  for (const auto& bunch : trace.bunches) {
-    const Seconds scheduled = bunch.timestamp / speed_;
+  for (std::size_t i = 0; i < view.bunch_count(); ++i) {
+    const Seconds scheduled = view.timestamp(i) / speed_;
     const Seconds ahead = scheduled - since(start);
     if (ahead > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
     }
     max_skew = std::max(max_skew, std::abs(since(start) - scheduled));
-    for (const auto& pkg : bunch.packages) {
+    for (const auto& pkg : view.packages(i)) {
       storage::IoRequest request;
       request.id = next_id++;
       request.sector = pkg.sector;

@@ -23,6 +23,7 @@
 #include "core/perf_monitor.h"
 #include "storage/io_request.h"
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 #include "util/spsc_queue.h"
 
 namespace tracer::core {
@@ -82,7 +83,12 @@ class RealtimeReplayer {
   /// speed: >1 replays faster than the trace's own clock.
   explicit RealtimeReplayer(double speed = 1.0);
 
-  /// Blocking: replays the whole trace, then waits for completions.
+  /// Blocking: replays the whole view, then waits for completions. The
+  /// zero-copy primary path — the issuing thread reads bunches through the
+  /// view's selection.
+  RealtimeReport replay(const trace::TraceView& view, RealtimeTarget& target);
+
+  /// Materializing-API compatibility wrapper (borrows, no copy).
   RealtimeReport replay(const trace::Trace& trace, RealtimeTarget& target);
 
  private:

@@ -27,23 +27,22 @@ Sector wrap_sector(Sector sector, Bytes bytes, Bytes capacity) {
   return sector % (usable + 1);
 }
 
-void ReplayEngine::schedule_bunch(const trace::Trace& trace, std::size_t index,
+void ReplayEngine::schedule_bunch(const trace::TraceView& view,
+                                  std::size_t index,
                                   storage::BlockDevice& device) {
-  if (index >= trace.bunches.size()) {
+  if (index >= view.bunch_count()) {
     trace_exhausted_ = true;
     return;
   }
-  const trace::Bunch& bunch = trace.bunches[index];
-  const Seconds at = bunch.timestamp / options_.time_scale;
+  const Seconds at = view.timestamp(index) / options_.time_scale;
   if (options_.max_duration > 0.0 && at > options_.max_duration) {
     trace_exhausted_ = true;
     return;
   }
-  sim_.schedule_at(at, [this, &trace, index, &device] {
-    const trace::Bunch& current = trace.bunches[index];
+  auto issue = [this, &view, index, &device] {
     ++bunches_submitted_;
     // Concurrent packages of a bunch are submitted in parallel (§IV-A).
-    for (const auto& pkg : current.packages) {
+    for (const auto& pkg : view.packages(index)) {
       storage::IoRequest request;
       request.id = next_id_++;
       request.sector = options_.wrap_addresses
@@ -59,14 +58,25 @@ void ReplayEngine::schedule_bunch(const trace::Trace& trace, std::size_t index,
         monitor_.on_complete(completion);
       });
     }
-    schedule_bunch(trace, index + 1, device);
-  });
+    schedule_bunch(view, index + 1, device);
+  };
+  // The hot loop's own event kind must never heap-allocate (§perf): the
+  // closure has to fit the simulator Action's inline buffer.
+  static_assert(sim::Simulator::Action::fits_inline<decltype(issue)>);
+  sim_.schedule_at(at, std::move(issue));
 }
 
 ReplayReport ReplayEngine::replay(
     const trace::Trace& trace, storage::BlockDevice& device,
     const std::vector<power::PowerSource*>& extra_sources) {
-  if (trace.empty()) {
+  // The borrowed view only lives for this call; `trace` outlives it.
+  return replay(trace::TraceView::borrowed(trace), device, extra_sources);
+}
+
+ReplayReport ReplayEngine::replay(
+    const trace::TraceView& view, storage::BlockDevice& device,
+    const std::vector<power::PowerSource*>& extra_sources) {
+  if (view.empty()) {
     throw std::invalid_argument("ReplayEngine: empty trace");
   }
   monitor_.reset();
@@ -95,7 +105,7 @@ ReplayReport ReplayEngine::replay(
     std::uint64_t last_completions = 0;
     Bytes last_bytes = 0;
     void arm(Seconds at) {
-      engine->sim_.schedule_at(at, [this, at] {
+      auto tick = [this, at] {
         analyzer->sample_at(at);
         if (engine->options_.on_cycle) {
           const auto& samples = analyzer->report(0).samples;
@@ -117,13 +127,18 @@ ReplayReport ReplayEngine::replay(
         if (!engine->trace_exhausted_ || engine->packages_in_flight_ > 0) {
           arm(at + cycle);
         }
-      });
+      };
+      static_assert(sim::Simulator::Action::fits_inline<decltype(tick)>);
+      engine->sim_.schedule_at(at, std::move(tick));
     }
   };
   Sampler sampler{this, &analyzer, options_.sampling_cycle, 0, 0};
   sampler.arm(sim_.now() + options_.sampling_cycle);
 
-  schedule_bunch(trace, 0, device);
+  // Steady state keeps one bunch event, one sampler event, and the in-
+  // flight completions queued; reserve so scheduling never reallocates.
+  sim_.reserve(256);
+  schedule_bunch(view, 0, device);
   sim_.run();
 
   const Seconds end = sim_.now();
@@ -139,7 +154,7 @@ ReplayReport ReplayEngine::replay(
   // completions that drain past the window still count. Using the drain-
   // inclusive end instead would deflate T(f) at saturation and corrupt the
   // eq. 1 load proportions.
-  Seconds trace_window = trace.duration() / options_.time_scale;
+  Seconds trace_window = view.duration() / options_.time_scale;
   if (options_.max_duration > 0.0) {
     trace_window = std::min(trace_window, options_.max_duration);
   }

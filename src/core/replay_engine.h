@@ -21,6 +21,7 @@
 #include "sim/simulator.h"
 #include "storage/block_device.h"
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace tracer::core {
 
@@ -80,24 +81,32 @@ class ReplayEngine {
   explicit ReplayEngine(const ReplayOptions& options = ReplayOptions{});
 
   /// Build the device under test on this engine's simulator via `factory`,
-  /// then replay `trace` against it. The factory receives the simulator.
-  template <typename Factory>
-  ReplayReport replay_with(const trace::Trace& trace, Factory&& factory) {
+  /// then replay `trace` (a Trace or a TraceView) against it. The factory
+  /// receives the simulator.
+  template <typename TraceLike, typename Factory>
+  ReplayReport replay_with(const TraceLike& trace, Factory&& factory) {
     auto device = factory(sim_);
     return replay(trace, *device);
   }
 
-  /// Replay onto an existing device registered with this engine's
-  /// simulator. `extra_sources` are metered on additional analyzer
-  /// channels (per-disk breakdowns); they must belong to the same
-  /// simulation as `device`.
+  /// Replay a view onto an existing device registered with this engine's
+  /// simulator — the zero-copy primary path: bunches are read through the
+  /// view's selection and timestamps remapped at iteration time.
+  /// `extra_sources` are metered on additional analyzer channels (per-disk
+  /// breakdowns); they must belong to the same simulation as `device`.
+  ReplayReport replay(const trace::TraceView& view,
+                      storage::BlockDevice& device,
+                      const std::vector<power::PowerSource*>& extra_sources = {});
+
+  /// Materializing-API compatibility wrapper: borrows `trace` as a view
+  /// for the duration of the call (no copy).
   ReplayReport replay(const trace::Trace& trace, storage::BlockDevice& device,
                       const std::vector<power::PowerSource*>& extra_sources = {});
 
   sim::Simulator& simulator() { return sim_; }
 
  private:
-  void schedule_bunch(const trace::Trace& trace, std::size_t index,
+  void schedule_bunch(const trace::TraceView& view, std::size_t index,
                       storage::BlockDevice& device);
 
   ReplayOptions options_;

@@ -5,7 +5,18 @@
 namespace tracer::sim {
 
 void Simulator::schedule_at(Seconds at, Action action) {
-  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(action)});
+  if (at < now_) ++late_schedules_;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(action));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(action);
+  }
+  heap_.push_back(Event{std::max(at, now_), next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Simulator::schedule_in(Seconds delay, Action action) {
@@ -13,14 +24,18 @@ void Simulator::schedule_in(Seconds delay, Action action) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small fields and move the action through a pop-after-read.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event event = heap_.back();
+  heap_.pop_back();
+  // Move the callable out and recycle its slot *before* invoking: the
+  // action may schedule new events (and thus reuse the slot).
+  Action action = std::move(slots_[event.slot]);
+  slots_[event.slot].reset();
+  free_slots_.push_back(event.slot);
   now_ = event.time;
   ++dispatched_;
-  event.action();
+  action();
   return true;
 }
 
@@ -31,7 +46,7 @@ Seconds Simulator::run() {
 }
 
 Seconds Simulator::run_until(Seconds t_end) {
-  while (!queue_.empty() && queue_.top().time <= t_end) {
+  while (!heap_.empty() && heap_.front().time <= t_end) {
     step();
   }
   now_ = std::max(now_, t_end);
@@ -39,7 +54,9 @@ Seconds Simulator::run_until(Seconds t_end) {
 }
 
 void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
 }
 
 }  // namespace tracer::sim

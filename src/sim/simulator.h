@@ -4,20 +4,31 @@
 // Simulators in parallel via util::ThreadPool rather than sharing one
 // (see DESIGN.md §6). Events at equal timestamps fire in scheduling order
 // (FIFO tie-break via a monotone sequence number) so runs are deterministic.
+//
+// The event queue is a flat binary heap over a std::vector of 24-byte
+// trivially-copyable entries (time, seq, slot) — reservable, cache-friendly,
+// movable pop, no const_cast move-from-top(). The event callables live in a
+// side slab indexed by slot and recycled through a free list, so heap sifts
+// never move a closure, and the callable itself is a small-buffer
+// util::SmallFunction: scheduling an event whose closure fits the inline
+// buffer performs no heap allocation in steady state. All of the replay
+// engine's and device models' event kinds fit (replay_engine.cpp
+// static_asserts its own); only oversized closures fall back to the heap.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "util/small_function.h"
 #include "util/types.h"
 
 namespace tracer::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Inline capacity 112 bytes: the largest hot-path closure (the SSD
+  /// model's completion, ~96 bytes) fits with headroom.
+  using Action = util::SmallFunction<void(), 112>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -32,8 +43,16 @@ class Simulator {
   /// Schedule `action` `delay` seconds from now (negative clamps to 0).
   void schedule_in(Seconds delay, Action action);
 
+  /// Pre-size the event heap and callable slab (e.g. before a replay with
+  /// a known queue depth) so steady-state scheduling never reallocates.
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slots_.reserve(events);
+    free_slots_.reserve(events);
+  }
+
   /// Number of events not yet fired.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
   /// Run until the event queue drains. Returns the final clock value.
   Seconds run();
@@ -51,11 +70,17 @@ class Simulator {
   /// Total events dispatched over the simulator's lifetime.
   std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// How many schedule_at calls asked for a time already in the past and
+  /// were clamped to now(). A persistently growing count during replay
+  /// means the replayer is saturated and silently drifting from the
+  /// trace's timing — accuracy benches should check this stays 0.
+  std::uint64_t late_schedule_count() const { return late_schedules_; }
+
  private:
   struct Event {
     Seconds time;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;  ///< index of the callable in slots_
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -67,7 +92,10 @@ class Simulator {
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t late_schedules_ = 0;
+  std::vector<Event> heap_;  ///< binary min-time heap (Later comparator)
+  std::vector<Action> slots_;  ///< event callables, addressed by Event::slot
+  std::vector<std::uint32_t> free_slots_;  ///< recycled slots_ indices
 };
 
 }  // namespace tracer::sim

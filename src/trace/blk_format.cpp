@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/binary_io.h"
 
@@ -11,6 +12,24 @@ namespace tracer::trace {
 namespace {
 constexpr std::uint64_t kMaxBunches = 1ULL << 32;
 constexpr std::uint32_t kMaxPackagesPerBunch = 1U << 20;
+
+// On-disk record sizes (little-endian, packed — see the header comment).
+constexpr std::size_t kBunchHeaderSize = 8 + 4;   // f64 timestamp | u32 count
+constexpr std::size_t kPackageSize = 8 + 4 + 1;   // u64 | u32 | u8
+
+void put_le(unsigned char* out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_le(const unsigned char* in, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
 }  // namespace
 
 void write_blk(std::ostream& out, const Trace& trace) {
@@ -19,14 +38,25 @@ void write_blk(std::ostream& out, const Trace& trace) {
   writer.u16(kBlkVersion);
   writer.str(trace.device);
   writer.u64(trace.bunches.size());
+  // Encode each bunch (header + package array) into a reusable scratch
+  // buffer and write it with a single call, instead of one stream write
+  // per field.
+  std::vector<unsigned char> scratch;
   for (const auto& bunch : trace.bunches) {
-    writer.f64(bunch.timestamp);
-    writer.u32(static_cast<std::uint32_t>(bunch.packages.size()));
+    scratch.resize(kBunchHeaderSize + bunch.packages.size() * kPackageSize);
+    unsigned char* cursor = scratch.data();
+    std::uint64_t timestamp_bits;
+    std::memcpy(&timestamp_bits, &bunch.timestamp, sizeof(timestamp_bits));
+    put_le(cursor, timestamp_bits, 8);
+    put_le(cursor + 8, static_cast<std::uint32_t>(bunch.packages.size()), 4);
+    cursor += kBunchHeaderSize;
     for (const auto& pkg : bunch.packages) {
-      writer.u64(pkg.sector);
-      writer.u32(static_cast<std::uint32_t>(pkg.bytes));
-      writer.u8(static_cast<std::uint8_t>(pkg.op));
+      put_le(cursor, pkg.sector, 8);
+      put_le(cursor + 8, static_cast<std::uint32_t>(pkg.bytes), 4);
+      cursor[12] = static_cast<unsigned char>(pkg.op);
+      cursor += kPackageSize;
     }
+    writer.raw(scratch.data(), scratch.size());
   }
   if (!writer.good()) {
     throw std::runtime_error("write_blk: stream write failed");
@@ -40,6 +70,57 @@ void write_blk_file(const std::string& path, const Trace& trace) {
 }
 
 Trace read_blk(std::istream& in) {
+  util::BinaryReader reader(in);
+  char magic[4];
+  reader.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kBlkMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("read_blk: bad magic (not a .replay trace)");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kBlkVersion) {
+    throw std::runtime_error("read_blk: unsupported version " +
+                             std::to_string(version));
+  }
+  Trace trace;
+  trace.device = reader.str();
+  const std::uint64_t bunch_count = reader.u64();
+  if (bunch_count > kMaxBunches) {
+    throw std::runtime_error("read_blk: implausible bunch count");
+  }
+  trace.bunches.reserve(bunch_count);
+  unsigned char header[kBunchHeaderSize];
+  std::vector<unsigned char> scratch;
+  for (std::uint64_t b = 0; b < bunch_count; ++b) {
+    reader.raw(header, sizeof(header));
+    Bunch bunch;
+    const std::uint64_t timestamp_bits = get_le(header, 8);
+    std::memcpy(&bunch.timestamp, &timestamp_bits, sizeof(bunch.timestamp));
+    const auto package_count =
+        static_cast<std::uint32_t>(get_le(header + 8, 4));
+    if (package_count > kMaxPackagesPerBunch) {
+      throw std::runtime_error("read_blk: implausible package count");
+    }
+    // One bulk read for the whole package array, then decode in memory.
+    scratch.resize(static_cast<std::size_t>(package_count) * kPackageSize);
+    reader.raw(scratch.data(), scratch.size());
+    bunch.packages.reserve(package_count);
+    const unsigned char* cursor = scratch.data();
+    for (std::uint32_t p = 0; p < package_count; ++p) {
+      IoPackage pkg;
+      pkg.sector = get_le(cursor, 8);
+      pkg.bytes = static_cast<std::uint32_t>(get_le(cursor + 8, 4));
+      const unsigned char op = cursor[12];
+      if (op > 1) throw std::runtime_error("read_blk: bad op code");
+      pkg.op = static_cast<OpType>(op);
+      bunch.packages.push_back(pkg);
+      cursor += kPackageSize;
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+Trace read_blk_streamed(std::istream& in) {
   util::BinaryReader reader(in);
   char magic[4];
   reader.raw(magic, sizeof(magic));

@@ -26,7 +26,15 @@ void write_blk(std::ostream& out, const Trace& trace);
 void write_blk_file(const std::string& path, const Trace& trace);
 
 /// Throws std::runtime_error on bad magic/version/truncation.
+/// Reads each bunch's package array with one bulk read into a scratch
+/// buffer (not per-field stream extraction) — the campaign-scale path.
 Trace read_blk(std::istream& in);
 Trace read_blk_file(const std::string& path);
+
+/// Reference decoder: the original per-field streamed implementation.
+/// Kept as the readable specification of the layout and as the baseline
+/// the BM_BlkReadBulk micro-benchmark compares against; produces output
+/// identical to read_blk.
+Trace read_blk_streamed(std::istream& in);
 
 }  // namespace tracer::trace

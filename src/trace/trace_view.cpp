@@ -1,0 +1,131 @@
+#include "trace/trace_view.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace tracer::trace {
+
+namespace {
+const std::string kNoDevice;
+}  // namespace
+
+TraceView::TraceView(std::shared_ptr<const Trace> trace)
+    : trace_(std::move(trace)) {
+  if (trace_ != nullptr &&
+      trace_->bunches.size() > std::numeric_limits<Index>::max()) {
+    throw std::invalid_argument(
+        "TraceView: trace exceeds the 2^32-bunch selection index range");
+  }
+}
+
+TraceView TraceView::borrowed(const Trace& trace) {
+  // Aliasing shared_ptr with no ownership: the caller keeps `trace` alive.
+  return TraceView(std::shared_ptr<const Trace>(std::shared_ptr<void>(),
+                                                &trace));
+}
+
+TraceView TraceView::owning(Trace trace) {
+  return TraceView(std::make_shared<const Trace>(std::move(trace)));
+}
+
+const std::string& TraceView::device() const {
+  return trace_ ? trace_->device : kNoDevice;
+}
+
+std::uint64_t TraceView::package_count() const {
+  if (trace_ == nullptr) return 0;
+  if (selection_ == nullptr) return trace_->package_count();
+  std::uint64_t count = 0;
+  for (const Index index : *selection_) {
+    count += trace_->bunches[index].packages.size();
+  }
+  return count;
+}
+
+Bytes TraceView::total_bytes() const {
+  if (trace_ == nullptr) return 0;
+  if (selection_ == nullptr) return trace_->total_bytes();
+  Bytes total = 0;
+  for (const Index index : *selection_) {
+    total += trace_->bunches[index].total_bytes();
+  }
+  return total;
+}
+
+Seconds TraceView::duration() const {
+  const std::size_t count = bunch_count();
+  return count == 0 ? 0.0 : timestamp(count - 1);
+}
+
+double TraceView::read_ratio() const {
+  if (trace_ == nullptr) return 0.0;
+  if (selection_ == nullptr) return trace_->read_ratio();
+  std::uint64_t reads = 0;
+  std::uint64_t total = 0;
+  for (const Index index : *selection_) {
+    for (const auto& pkg : trace_->bunches[index].packages) {
+      ++total;
+      if (pkg.op == OpType::kRead) ++reads;
+    }
+  }
+  return total ? static_cast<double>(reads) / static_cast<double>(total) : 0.0;
+}
+
+double TraceView::mean_request_size() const {
+  const std::uint64_t count = package_count();
+  return count ? static_cast<double>(total_bytes()) /
+                     static_cast<double>(count)
+               : 0.0;
+}
+
+TraceView TraceView::select(std::vector<Index> positions) const {
+  if (trace_ == nullptr) {
+    throw std::logic_error("TraceView::select: invalid view");
+  }
+  const std::size_t count = bunch_count();
+  Index previous = 0;
+  bool first = true;
+  for (Index& position : positions) {
+    if (position >= count) {
+      throw std::out_of_range("TraceView::select: position beyond view");
+    }
+    if (!first && position <= previous) {
+      throw std::invalid_argument(
+          "TraceView::select: positions must be strictly increasing");
+    }
+    previous = position;
+    first = false;
+    // Compose with the existing selection: positions address *view* slots.
+    if (selection_ != nullptr) position = (*selection_)[position];
+  }
+  TraceView out = *this;
+  out.selection_ =
+      std::make_shared<const std::vector<Index>>(std::move(positions));
+  return out;
+}
+
+TraceView TraceView::scaled(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("TraceView::scaled: factor must be > 0");
+  }
+  TraceView out = *this;
+  out.time_divisor_ *= factor;
+  return out;
+}
+
+Trace TraceView::materialize() const {
+  Trace out;
+  if (trace_ == nullptr) return out;
+  out.device = trace_->device;
+  const std::size_t count = bunch_count();
+  out.bunches.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Bunch copy = bunch(i);
+    copy.timestamp = timestamp(i);
+    out.bunches.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace tracer::trace

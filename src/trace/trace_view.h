@@ -1,0 +1,109 @@
+// Zero-copy trace view: an immutable, shared underlying Trace plus a
+// compact bunch-index selection and a lazy inter-arrival scale factor.
+//
+// The campaign pipeline (peak trace -> proportional filter -> interarrival
+// scale -> replay) used to deep-copy every selected Bunch — and its
+// packages vector — once per test. A TraceView instead records *which*
+// bunch indices are selected (4 bytes per selected bunch) and *how*
+// timestamps are remapped (one double), deferring both to iteration time.
+// Selecting k-of-10 bunches from a 50 000-bunch peak trace costs a ~20 KB
+// index vector rather than megabytes of package copies.
+//
+// Ownership rules (see DESIGN.md §8):
+//   * A view holds `shared_ptr<const Trace>`: the underlying trace is
+//     immutable shared state, safe to read from many replay threads at
+//     once (EvaluationHost's peak-trace cache relies on this).
+//   * `borrowed()` makes a non-owning view for a caller-kept Trace; the
+//     caller must keep the trace alive for the view's lifetime. It exists
+//     so the materializing APIs can wrap the view path without copying.
+//   * Views are cheap to copy (two shared_ptrs and a double) and cheap to
+//     compose: filter-of-view and scale-of-view return new views over the
+//     same underlying trace.
+//   * `materialize()` is the only operation that copies bunches; call it
+//     when a plain Trace must outlive the underlying storage (e.g. when
+//     writing a filtered trace to the repository).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace tracer::trace {
+
+class TraceView {
+ public:
+  /// Index type of the bunch selection. u32 keeps the selection compact;
+  /// the .replay format already caps traces at 2^32 bunches.
+  using Index = std::uint32_t;
+
+  TraceView() = default;
+
+  /// Full view of a shared trace (selects every bunch, unit time scale).
+  explicit TraceView(std::shared_ptr<const Trace> trace);
+
+  /// Non-owning view of `trace`; the caller guarantees `trace` outlives
+  /// the view and every view derived from it.
+  static TraceView borrowed(const Trace& trace);
+
+  /// View that takes ownership of a materialized trace.
+  static TraceView owning(Trace trace);
+
+  bool valid() const { return trace_ != nullptr; }
+  bool empty() const { return bunch_count() == 0; }
+  const std::string& device() const;
+
+  std::size_t bunch_count() const {
+    if (trace_ == nullptr) return 0;
+    return selection_ ? selection_->size() : trace_->bunches.size();
+  }
+
+  /// Underlying bunch of the i-th selected position (original timestamp).
+  const Bunch& bunch(std::size_t i) const {
+    return trace_->bunches[selection_ ? (*selection_)[i] : i];
+  }
+
+  /// Replay timestamp of the i-th selected bunch: the underlying timestamp
+  /// divided by the accumulated intensity factor (lazy InterarrivalScaler).
+  Seconds timestamp(std::size_t i) const {
+    return bunch(i).timestamp / time_divisor_;
+  }
+
+  const std::vector<IoPackage>& packages(std::size_t i) const {
+    return bunch(i).packages;
+  }
+
+  /// Accumulated intensity factor (timestamps are divided by it).
+  double time_divisor() const { return time_divisor_; }
+  bool selects_all() const { return selection_ == nullptr; }
+  const std::shared_ptr<const Trace>& shared_trace() const { return trace_; }
+
+  // Aggregates over the selection, mirroring Trace's accessors.
+  std::uint64_t package_count() const;
+  Bytes total_bytes() const;
+  /// Duration in the *scaled* time domain (through the last selection).
+  Seconds duration() const;
+  double read_ratio() const;
+  double mean_request_size() const;
+
+  /// Restrict to `positions` — strictly increasing indices into this
+  /// view's current selection (composition: a filter of a filtered view
+  /// indexes view positions, not underlying indices).
+  TraceView select(std::vector<Index> positions) const;
+
+  /// Multiply replay intensity by `factor` (> 0): timestamps divide by
+  /// `factor` lazily at iteration time.
+  TraceView scaled(double factor) const;
+
+  /// Deep-copy the selection into a plain Trace with remapped timestamps.
+  Trace materialize() const;
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+  std::shared_ptr<const std::vector<Index>> selection_;  ///< null = all
+  double time_divisor_ = 1.0;
+};
+
+}  // namespace tracer::trace

@@ -1,0 +1,135 @@
+// Move-only callable with small-buffer storage — the DES kernel's event
+// type. std::function heap-allocates every closure larger than its tiny
+// internal buffer (two pointers on libstdc++), which puts one malloc/free
+// pair on the simulator's hot path per scheduled event. SmallFunction
+// stores closures up to `Capacity` bytes inline; larger ones fall back to
+// the heap so arbitrary callables still work.
+//
+// `fits_inline<F>` is a compile-time predicate, so hot paths can
+// static_assert that their event closures never allocate (replay_engine.cpp
+// does exactly that for the replay event kinds).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tracer::util {
+
+template <typename Signature, std::size_t Capacity = 112>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  /// True when a (decayed) callable of type F is stored inline: it fits the
+  /// buffer, is no more aligned than max_align_t, and can be relocated
+  /// without throwing (required because moves must be noexcept).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      vtable_ = &inline_vtable<D>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  /// True when the stored callable lives in the inline buffer (no heap).
+  bool stored_inline() const { return vtable_ != nullptr && vtable_->inline_stored; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buffer_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* self, Args&&... args);
+    /// Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename F>
+  static constexpr VTable inline_vtable = {
+      [](void* self, Args&&... args) -> R {
+        return (*std::launder(static_cast<F*>(self)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(static_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* self) noexcept { std::launder(static_cast<F*>(self))->~F(); },
+      true,
+  };
+
+  template <typename F>
+  static constexpr VTable heap_vtable = {
+      [](void* self, Args&&... args) -> R {
+        return (**std::launder(static_cast<F**>(self)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        F** from = std::launder(static_cast<F**>(src));
+        ::new (dst) F*(*from);
+      },
+      [](void* self) noexcept { delete *std::launder(static_cast<F**>(self)); },
+      false,
+  };
+
+  void move_from(SmallFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buffer_, other.buffer_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace tracer::util

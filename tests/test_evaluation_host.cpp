@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 
 #include "util/cancel_token.h"
+#include "util/thread_pool.h"
 #include "workload/cello_model.h"
 
 namespace tracer::core {
@@ -133,6 +135,64 @@ TEST_F(EvaluationHostTest, SweepHonoursCancellation) {
     EXPECT_EQ(outcome.error, "cancelled");
   }
   EXPECT_EQ(host.database().size(), 0u);
+}
+
+TEST_F(EvaluationHostTest, PeakTraceSharedReturnsSamePointerAcrossLoadLevels) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  const auto first = host.peak_trace_shared(mode(1.0));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(host.peak_build_count(), 1u);
+  // Load proportion is not part of the trace key: every level of the same
+  // workload mode shares the one cached instance.
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_EQ(host.peak_trace_shared(mode(load)).get(), first.get());
+  }
+  EXPECT_EQ(host.peak_build_count(), 1u);
+  EXPECT_EQ(host.peak_cache_size(), 1u);
+}
+
+TEST_F(EvaluationHostTest, PeakCacheBuildsOnceUnderConcurrentAccess) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  constexpr std::size_t kCallers = 16;
+  std::vector<std::shared_ptr<const trace::Trace>> seen(kCallers);
+  util::ThreadPool pool(4);
+  pool.parallel_for(kCallers, [&](std::size_t i) {
+    seen[i] = host.peak_trace_shared(mode(0.1 * static_cast<double>(i + 1)));
+  });
+  std::set<const trace::Trace*> distinct;
+  for (const auto& ptr : seen) {
+    ASSERT_NE(ptr, nullptr);
+    distinct.insert(ptr.get());
+  }
+  EXPECT_EQ(distinct.size(), 1u);
+  EXPECT_EQ(host.peak_build_count(), 1u);
+}
+
+TEST_F(EvaluationHostTest, SweepOverLoadLevelsBuildsPeakTraceExactlyOnce) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  std::vector<workload::WorkloadMode> modes;
+  for (int level = 1; level <= 10; ++level) modes.push_back(mode(level / 10.0));
+  const auto outcomes = host.run_sweep(modes);
+  ASSERT_EQ(outcomes.size(), 10u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok()) << outcome.error;
+  }
+  // The acceptance criterion: 10 load levels of one mode parse/generate
+  // the peak trace exactly once.
+  EXPECT_EQ(host.peak_build_count(), 1u);
+  EXPECT_EQ(host.database().size(), 10u);
+}
+
+TEST_F(EvaluationHostTest, ClearPeakCacheKeepsSharedTracesAlive) {
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  const auto held = host.peak_trace_shared(mode());
+  host.clear_peak_cache();
+  EXPECT_EQ(host.peak_cache_size(), 0u);
+  EXPECT_GT(held->bunch_count(), 0u);  // shared ownership keeps it valid
+  // Next fetch rebuilds (from the repository this time, not a re-collect).
+  const auto rebuilt = host.peak_trace_shared(mode());
+  EXPECT_EQ(host.peak_build_count(), 2u);
+  EXPECT_EQ(*rebuilt, *held);
 }
 
 TEST_F(EvaluationHostTest, RepositoryPersistsAcrossHosts) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 namespace tracer::sim {
@@ -112,6 +113,50 @@ TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_NEAR(sim.now(), 9.9, 1e-9);
+}
+
+TEST(Simulator, CountsLateSchedulesInsteadOfSilentlyDrifting) {
+  Simulator sim;
+  EXPECT_EQ(sim.late_schedule_count(), 0u);
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_at(3.0, [&] { fired_at = sim.now(); });  // past due
+    sim.schedule_at(11.0, [] {});                         // on time
+  });
+  sim.run();
+  // The clamp still applies (replay keeps going)...
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+  // ...but a saturated replayer is now detectable.
+  EXPECT_EQ(sim.late_schedule_count(), 1u);
+}
+
+TEST(Simulator, NegativeDelaysDoNotCountAsLate) {
+  // schedule_in clamps negative delays to zero *before* schedule_at sees
+  // the time, so they are an explicit "now" rather than a drift signal.
+  Simulator sim;
+  sim.schedule_in(-5.0, [] {});
+  EXPECT_EQ(sim.late_schedule_count(), 0u);
+  sim.run();
+}
+
+TEST(Simulator, LargeClosuresStillWorkViaHeapFallback) {
+  Simulator sim;
+  std::array<double, 40> payload{};  // 320 bytes, beyond the inline buffer
+  payload[0] = 1.0;
+  double sum = 0.0;
+  sim.schedule_at(1.0, [payload, &sum] { sum += payload[0]; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Simulator, ReserveDoesNotDisturbPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.reserve(1024);
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
 }
 
 TEST(Simulator, CountsDispatchedEvents) {

@@ -1,0 +1,220 @@
+// TraceView: the zero-copy selection/scaling layer must produce
+// bunch-for-bunch identical replay input to the materializing
+// ProportionalFilter / InterarrivalScaler paths, share (not copy) the
+// underlying trace, and feed the replay engine to bit-identical metrics.
+#include "trace/trace_view.h"
+
+#include <gtest/gtest.h>
+
+#include "core/interarrival_scaler.h"
+#include "core/proportional_filter.h"
+#include "core/replay_engine.h"
+#include "storage/disk_array.h"
+#include "util/rng.h"
+
+namespace tracer::trace {
+namespace {
+
+// Same shape as test_filter_properties' bursty trace: bursty arrivals,
+// mixed sizes and ops.
+Trace bursty_trace(int bunches = 5000) {
+  util::Rng rng(99);
+  Trace trace;
+  trace.device = "prop";
+  Seconds t = 0.0;
+  for (int b = 0; b < bunches; ++b) {
+    t += rng.exponential(0.01);
+    Bunch bunch;
+    bunch.timestamp = t;
+    const std::size_t packages = 1 + rng.below(6);
+    for (std::size_t p = 0; p < packages; ++p) {
+      bunch.packages.push_back(IoPackage{
+          rng.below(1ULL << 30), (1 + rng.below(64)) * 512,
+          rng.chance(0.6) ? OpType::kRead : OpType::kWrite});
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+void expect_view_equals_trace(const TraceView& view, const Trace& expected) {
+  ASSERT_EQ(view.bunch_count(), expected.bunches.size());
+  for (std::size_t i = 0; i < view.bunch_count(); ++i) {
+    EXPECT_EQ(view.timestamp(i), expected.bunches[i].timestamp) << "i=" << i;
+    EXPECT_EQ(view.packages(i), expected.bunches[i].packages) << "i=" << i;
+  }
+  EXPECT_EQ(view.materialize(), expected);
+}
+
+TEST(TraceView, FullViewMirrorsTrace) {
+  auto shared = std::make_shared<const Trace>(bursty_trace(200));
+  TraceView view(shared);
+  EXPECT_TRUE(view.valid());
+  EXPECT_TRUE(view.selects_all());
+  EXPECT_EQ(view.bunch_count(), shared->bunch_count());
+  EXPECT_EQ(view.package_count(), shared->package_count());
+  EXPECT_EQ(view.total_bytes(), shared->total_bytes());
+  EXPECT_EQ(view.duration(), shared->duration());
+  EXPECT_DOUBLE_EQ(view.read_ratio(), shared->read_ratio());
+  EXPECT_DOUBLE_EQ(view.mean_request_size(), shared->mean_request_size());
+  expect_view_equals_trace(view, *shared);
+}
+
+TEST(TraceView, ViewsShareNotCopyTheTrace) {
+  auto shared = std::make_shared<const Trace>(bursty_trace(500));
+  TraceView view(shared);
+  TraceView filtered = core::ProportionalFilter::apply(view, 0.3);
+  TraceView scaled = filtered.scaled(2.0);
+  // All three alias the same underlying trace; only the use_count moves.
+  EXPECT_EQ(view.shared_trace().get(), shared.get());
+  EXPECT_EQ(filtered.shared_trace().get(), shared.get());
+  EXPECT_EQ(scaled.shared_trace().get(), shared.get());
+  // The bunch reference read through the view IS an underlying bunch, not
+  // a copy: its address lies inside the shared trace's bunch array.
+  const Bunch* underlying = &filtered.bunch(0);
+  EXPECT_GE(underlying, shared->bunches.data());
+  EXPECT_LT(underlying, shared->bunches.data() + shared->bunches.size());
+}
+
+TEST(TraceView, DefaultViewIsEmptyAndInvalid) {
+  TraceView view;
+  EXPECT_FALSE(view.valid());
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.bunch_count(), 0u);
+  EXPECT_EQ(view.package_count(), 0u);
+  EXPECT_EQ(view.duration(), 0.0);
+  EXPECT_TRUE(view.materialize().empty());
+}
+
+TEST(TraceView, BorrowedAndOwningViewsAgree) {
+  Trace trace = bursty_trace(100);
+  TraceView borrowed = TraceView::borrowed(trace);
+  TraceView owning = TraceView::owning(trace);  // copy moved in
+  expect_view_equals_trace(borrowed, trace);
+  expect_view_equals_trace(owning, *owning.shared_trace());
+  EXPECT_EQ(owning.materialize(), trace);
+}
+
+TEST(TraceView, SelectValidatesPositions) {
+  TraceView view(std::make_shared<const Trace>(bursty_trace(20)));
+  EXPECT_THROW(view.select({0, 0}), std::invalid_argument);   // not increasing
+  EXPECT_THROW(view.select({5, 3}), std::invalid_argument);   // decreasing
+  EXPECT_THROW(view.select({25}), std::out_of_range);         // beyond view
+  EXPECT_THROW(TraceView{}.select({0}), std::logic_error);    // invalid view
+  EXPECT_THROW(view.scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(view.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(TraceView, SelectComposesThroughViewPositions) {
+  TraceView view(std::make_shared<const Trace>(bursty_trace(100)));
+  // First keep even underlying indices, then the first three *view* slots:
+  // composition must land on underlying 0, 2, 4 — not 0, 1, 2.
+  std::vector<TraceView::Index> evens;
+  for (TraceView::Index i = 0; i < 100; i += 2) evens.push_back(i);
+  TraceView even_view = view.select(std::move(evens));
+  TraceView first3 = even_view.select({0, 1, 2});
+  ASSERT_EQ(first3.bunch_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first3.bunch(i), view.bunch(2 * i));
+  }
+}
+
+// ---------- equivalence with the materializing filter/scaler ----------
+
+class ViewPipelineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViewPipelineEquivalence, UniformFilterMatchesMaterializingPath) {
+  const double proportion = GetParam() / 100.0;
+  const Trace trace = bursty_trace();
+  const Trace materialized =
+      core::ProportionalFilter::apply(trace, proportion);
+  const TraceView view = core::ProportionalFilter::apply(
+      TraceView(std::make_shared<const Trace>(trace)), proportion);
+  expect_view_equals_trace(view, materialized);
+}
+
+TEST_P(ViewPipelineEquivalence, RandomFilterMatchesMaterializingPath) {
+  const double proportion = GetParam() / 100.0;
+  const std::uint64_t seed = 0xfeedULL + static_cast<std::uint64_t>(GetParam());
+  const Trace trace = bursty_trace();
+  const Trace materialized =
+      core::ProportionalFilter::apply_random(trace, proportion, seed);
+  const TraceView view = core::ProportionalFilter::apply_random(
+      TraceView(std::make_shared<const Trace>(trace)), proportion, seed);
+  expect_view_equals_trace(view, materialized);
+}
+
+TEST_P(ViewPipelineEquivalence, ScalerMatchesMaterializingPath) {
+  const double factor = GetParam() / 100.0 * 3.0;  // 0.3 .. 3.0
+  const Trace trace = bursty_trace();
+  const Trace materialized = core::InterarrivalScaler::scale(trace, factor);
+  const TraceView view = core::InterarrivalScaler::scale(
+      TraceView(std::make_shared<const Trace>(trace)), factor);
+  expect_view_equals_trace(view, materialized);
+}
+
+TEST_P(ViewPipelineEquivalence, FilterThenScaleMatchesMaterializingPath) {
+  const double proportion = GetParam() / 100.0;
+  const Trace trace = bursty_trace();
+  const Trace materialized = core::InterarrivalScaler::scale(
+      core::ProportionalFilter::apply(trace, proportion), 4.0);
+  const TraceView view = core::InterarrivalScaler::scale(
+      core::ProportionalFilter::apply(
+          TraceView(std::make_shared<const Trace>(trace)), proportion),
+      4.0);
+  expect_view_equals_trace(view, materialized);
+}
+
+TEST_P(ViewPipelineEquivalence, ScaleToDurationMatchesMaterializingPath) {
+  const double target = 1.0 + GetParam() / 10.0;
+  const Trace trace = bursty_trace();
+  const Trace materialized =
+      core::InterarrivalScaler::scale_to_duration(trace, target);
+  const TraceView view = core::InterarrivalScaler::scale_to_duration(
+      TraceView(std::make_shared<const Trace>(trace)), target);
+  expect_view_equals_trace(view, materialized);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadLevels, ViewPipelineEquivalence,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80,
+                                           90, 100));
+
+// ---------- replay-metric identity (no behavioral drift) ----------
+
+TEST(TraceViewReplay, ViewReplayIsBitIdenticalToMaterializedReplay) {
+  const Trace peak = bursty_trace(800);
+  const double proportion = 0.3;
+
+  const Trace filtered_trace =
+      core::ProportionalFilter::apply(peak, proportion);
+  core::ReplayEngine materialized_engine;
+  storage::DiskArray materialized_array(
+      materialized_engine.simulator(), storage::ArrayConfig::hdd_testbed(6));
+  const auto materialized =
+      materialized_engine.replay(filtered_trace, materialized_array);
+
+  const TraceView filtered_view = core::ProportionalFilter::apply(
+      TraceView(std::make_shared<const Trace>(peak)), proportion);
+  core::ReplayEngine view_engine;
+  storage::DiskArray view_array(view_engine.simulator(),
+                                storage::ArrayConfig::hdd_testbed(6));
+  const auto viewed = view_engine.replay(filtered_view, view_array);
+
+  EXPECT_EQ(viewed.bunches_replayed, materialized.bunches_replayed);
+  EXPECT_EQ(viewed.packages_replayed, materialized.packages_replayed);
+  EXPECT_EQ(viewed.replay_duration, materialized.replay_duration);
+  EXPECT_EQ(viewed.perf.iops, materialized.perf.iops);
+  EXPECT_EQ(viewed.perf.mbps, materialized.perf.mbps);
+  EXPECT_EQ(viewed.perf.avg_response_ms, materialized.perf.avg_response_ms);
+  EXPECT_EQ(viewed.avg_watts, materialized.avg_watts);
+  EXPECT_EQ(viewed.joules, materialized.joules);
+  EXPECT_EQ(viewed.efficiency.iops_per_watt,
+            materialized.efficiency.iops_per_watt);
+  EXPECT_EQ(viewed.efficiency.mbps_per_kilowatt,
+            materialized.efficiency.mbps_per_kilowatt);
+  // The replay must never have been saturated into clamping events.
+  EXPECT_EQ(view_engine.simulator().late_schedule_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tracer::trace
