@@ -12,9 +12,17 @@
 // Ctrl-C stops cleanly, and re-running the binary resumes from the journal
 // without repeating completed (trace, load) pairs. Delete the journal for
 // a from-scratch run.
+//
+// Observability flags (artifacts for CI and offline inspection):
+//   --metrics-out=PATH   dump the obs:: metrics snapshot on exit
+//                        (.json extension -> JSON, anything else -> CSV)
+//   --trace-out=PATH     enable span tracing; write Chrome trace-viewer
+//                        JSON on exit (open via chrome://tracing)
 #include "bench_common.h"
 
 #include "core/campaign.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/stats.h"
 
 #include <algorithm>
@@ -26,10 +34,54 @@ tracer::util::CancelToken* g_cancel = nullptr;
 extern "C" void on_sigint(int) {
   if (g_cancel != nullptr) g_cancel->request_cancel();
 }
+
+// Per-phase wall-clock breakdown from the host.phase.* counters: where the
+// campaign's CPU time went (generate vs filter vs replay vs measure).
+// Phase times sum across worker threads, so the total can exceed elapsed
+// wall clock; the shares are what matter.
+void print_phase_breakdown(const tracer::obs::Snapshot& snapshot) {
+  static constexpr const char* kPhases[] = {"generate", "filter", "replay",
+                                            "measure"};
+  double total_s = 0.0;
+  for (const char* phase : kPhases) {
+    total_s += static_cast<double>(snapshot.counter_or(
+                   std::string("host.phase.") + phase + ".us")) /
+               1e6;
+  }
+  if (total_s <= 0.0) return;
+  std::printf("phase breakdown (thread-seconds):\n");
+  for (const char* phase : kPhases) {
+    const std::string prefix = std::string("host.phase.") + phase;
+    const double seconds =
+        static_cast<double>(snapshot.counter_or(prefix + ".us")) / 1e6;
+    std::printf("  %-8s %8.2fs (%4.1f%%, %zu calls)\n", phase, seconds,
+                seconds / total_s * 100.0,
+                static_cast<std::size_t>(snapshot.counter_or(prefix +
+                                                             ".calls")));
+  }
+}
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tracer;
+
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else {
+      std::fprintf(stderr,
+                   "usage: campaign_1250 [--metrics-out=PATH] "
+                   "[--trace-out=PATH]\n");
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::global().enable();
+
   bench::print_header(
       "Campaign — 125 synthetic modes x 10 load levels (1250 experiments)",
       "power correlates with throughput; efficiency extremes follow "
@@ -200,5 +252,22 @@ int main() {
   std::printf("full per-test records: %s (%zu rows, survives restarts)\n",
               campaign_options.journal_path.string().c_str(),
               report.completed() + report.skipped());
+
+  const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+  print_phase_breakdown(snapshot);
+  if (!metrics_out.empty()) {
+    if (metrics_out.size() >= 5 &&
+        metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0) {
+      snapshot.write_json(metrics_out);
+    } else {
+      snapshot.write_csv(metrics_out);
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::global().write_chrome_json(trace_out);
+    std::printf("%zu span(s) written to %s\n",
+                obs::Tracer::global().events().size(), trace_out.c_str());
+  }
   return report.all_ok() ? 0 : 1;
 }

@@ -11,6 +11,12 @@
 //
 // Every completed test prints its database record; STOP_TEST (or EOF)
 // exports the session database to tracer_results.csv.
+//
+// Observability flags:
+//   --metrics-out=PATH   dump the obs:: metrics snapshot on exit
+//                        (.json extension -> JSON, anything else -> CSV)
+//   --trace-out=PATH     enable span tracing; write Chrome trace-viewer
+//                        JSON on exit (open via chrome://tracing)
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -18,12 +24,34 @@
 
 #include "core/remote.h"
 #include "net/parser.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/string_util.h"
 
 int main(int argc, char** argv) {
   using namespace tracer;
 
-  const std::string device = argc > 1 ? argv[1] : "hdd";
+  std::string device = "hdd";
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::fprintf(stderr,
+                   "usage: tracer_cli [hdd|ssd] [--metrics-out=PATH] "
+                   "[--trace-out=PATH]\n");
+      return 2;
+    } else {
+      device = arg;
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::global().enable();
+
   storage::ArrayConfig config = device == "ssd"
                                     ? storage::ArrayConfig::ssd_testbed(4)
                                     : storage::ArrayConfig::hdd_testbed(6);
@@ -81,5 +109,21 @@ int main(int argc, char** argv) {
   host.database().export_csv(csv);
   std::printf("%zu records written to %s\n", host.database().size(),
               csv.c_str());
+
+  if (!metrics_out.empty()) {
+    const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+    if (metrics_out.size() >= 5 &&
+        metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0) {
+      snapshot.write_json(metrics_out);
+    } else {
+      snapshot.write_csv(metrics_out);
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::global().write_chrome_json(trace_out);
+    std::printf("%zu span(s) written to %s\n",
+                obs::Tracer::global().events().size(), trace_out.c_str());
+  }
   return 0;
 }

@@ -67,7 +67,11 @@ void CampaignRunner::bump_progress(
                           : 0.0;
   // Invoked under the progress lock so callbacks are serialised and see
   // monotonic counters; observers must not call back into the runner.
-  if (options_.on_progress) options_.on_progress(progress_);
+  // The registry snapshot is taken only when someone is listening.
+  if (options_.on_progress) {
+    progress_.metrics = obs::Registry::global().snapshot();
+    options_.on_progress(progress_);
+  }
 }
 
 TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
@@ -89,9 +93,17 @@ TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
       if (record.load_proportion == 0.0) {
         record.load_proportion = mode.load_proportion;
       }
-      if (journal_) journal_->append(record);
+      if (journal_) {
+        journal_->append(record);
+        static auto& checkpoints =
+            obs::Registry::global().counter("campaign.checkpoint_writes");
+        checkpoints.increment();
+      }
       outcome.status = TestStatus::kCompleted;
       outcome.record = std::move(record);
+      static auto& completed =
+          obs::Registry::global().counter("campaign.completed");
+      completed.increment();
       bump_progress([](CampaignProgress& p) { ++p.completed; });
       return outcome;
     } catch (const std::exception& e) {
@@ -103,6 +115,9 @@ TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
       TRACER_LOG(kWarn) << "campaign test " << trace_name << " @ "
                         << mode.load_proportion << " attempt " << attempt
                         << " failed (" << outcome.error << "), retrying";
+      static auto& retries =
+          obs::Registry::global().counter("campaign.retries");
+      retries.increment();
       bump_progress([](CampaignProgress& p) { ++p.retries; });
       const Seconds backoff =
           options_.retry_backoff * static_cast<double>(1u << attempt);
@@ -114,6 +129,9 @@ TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
     return outcome;
   }
   outcome.status = TestStatus::kFailed;
+  static auto& failures =
+      obs::Registry::global().counter("campaign.failures");
+  failures.increment();
   TRACER_LOG(kError) << "campaign test " << trace_name << " @ "
                      << mode.load_proportion << " failed after "
                      << outcome.attempts << " attempt(s): " << outcome.error;

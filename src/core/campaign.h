@@ -30,6 +30,7 @@
 
 #include "core/evaluation_host.h"
 #include "db/journal.h"
+#include "obs/registry.h"
 #include "util/cancel_token.h"
 
 namespace tracer::core {
@@ -64,6 +65,10 @@ struct CampaignProgress {
   std::size_t retries = 0;    ///< extra attempts across all tests
   Seconds elapsed = 0.0;
   Seconds eta = 0.0;  ///< remaining-time estimate; 0 until measurable
+  /// Point-in-time snapshot of the process-global obs registry, taken just
+  /// before each callback: replay/peak-cache/power counters alongside the
+  /// campaign's own counts, so dashboards need only one subscription.
+  obs::Snapshot metrics;
 
   std::size_t processed() const { return completed + skipped + failed; }
 };

@@ -4,6 +4,8 @@
 #include <ctime>
 
 #include "core/proportional_filter.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "workload/synthetic_generator.h"
@@ -35,6 +37,11 @@ trace::Trace EvaluationHost::peak_trace(const workload::WorkloadMode& mode) {
 
 trace::Trace EvaluationHost::build_peak_trace(
     const trace::TraceKey& key, const workload::WorkloadMode& mode) {
+  TRACER_SPAN("host.generate");
+  auto& reg = obs::Registry::global();
+  static auto& gen_us = reg.counter("host.phase.generate.us");
+  static auto& gen_calls = reg.counter("host.phase.generate.calls");
+  obs::ScopedTimer timer(gen_us, gen_calls);
   if (repository_.contains(key)) return repository_.load(key);
   // Independent keys may collect in parallel; the per-key future in
   // peak_trace_shared already serialises same-key builds, and the store is
@@ -76,12 +83,21 @@ std::shared_ptr<const trace::Trace> EvaluationHost::peak_trace_shared(
       future = it->second;
     }
   }
+  {
+    auto& reg = obs::Registry::global();
+    static auto& hits = reg.counter("host.peak_cache.hits");
+    static auto& misses = reg.counter("host.peak_cache.misses");
+    (builder ? misses : hits).increment();
+  }
   if (builder) {
     // Build outside the lock so distinct keys still collect in parallel.
     try {
       auto built = std::make_shared<const trace::Trace>(
           build_peak_trace(key, mode));
       peak_builds_.fetch_add(1, std::memory_order_relaxed);
+      static auto& builds =
+          obs::Registry::global().counter("host.peak_cache.builds");
+      builds.increment();
       promise.set_value(std::move(built));
     } catch (...) {
       // Evict first so a later call can retry; waiters holding this future
@@ -109,10 +125,21 @@ void EvaluationHost::clear_peak_cache() {
 TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
                                            const std::string& trace_name,
                                            const workload::WorkloadMode& mode) {
-  const trace::TraceView filtered =
-      mode.load_proportion >= 1.0
-          ? peak
-          : ProportionalFilter::apply(peak, mode.load_proportion);
+  auto& reg = obs::Registry::global();
+  static auto& filter_us = reg.counter("host.phase.filter.us");
+  static auto& filter_calls = reg.counter("host.phase.filter.calls");
+  static auto& replay_us = reg.counter("host.phase.replay.us");
+  static auto& replay_calls = reg.counter("host.phase.replay.calls");
+  static auto& measure_us = reg.counter("host.phase.measure.us");
+  static auto& measure_calls = reg.counter("host.phase.measure.calls");
+
+  const trace::TraceView filtered = [&] {
+    TRACER_SPAN("host.filter");
+    obs::ScopedTimer timer(filter_us, filter_calls);
+    return mode.load_proportion >= 1.0
+               ? peak
+               : ProportionalFilter::apply(peak, mode.load_proportion);
+  }();
 
   ReplayOptions replay_options;
   replay_options.sampling_cycle = options_.sampling_cycle;
@@ -121,8 +148,14 @@ TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
   ReplayEngine engine(replay_options);
   storage::ArrayConfig config = array_;
   storage::DiskArray array(engine.simulator(), config);
-  ReplayReport report = engine.replay(filtered, array);
+  ReplayReport report = [&] {
+    TRACER_SPAN("host.replay");
+    obs::ScopedTimer timer(replay_us, replay_calls);
+    return engine.replay(filtered, array);
+  }();
 
+  TRACER_SPAN("host.measure");
+  obs::ScopedTimer measure_timer(measure_us, measure_calls);
   TestResult result;
   result.record.timestamp = now_iso8601();
   result.record.device = array_.name;

@@ -5,18 +5,21 @@
 namespace tracer::core {
 
 namespace {
-// Response-time histogram range: 10 us .. 10 s in 2000 log-friendly linear
-// bins of 5 ms; storage latencies beyond 10 s clamp into the last bin.
-constexpr double kHistLoMs = 0.0;
+// Response-time histogram range: 10 us .. 10 s on a log scale, 40 bins per
+// decade (240 bins, ~6% relative resolution everywhere). The old 2000-bin
+// linear 5 ms grid put every sub-5 ms SSD latency in bin 0, making p95
+// useless exactly where flash latencies live; log bins resolve 100 us and
+// 5 s equally well. Latencies outside the range clamp into the edge bins.
+constexpr double kHistLoMs = 0.01;
 constexpr double kHistHiMs = 10000.0;
-constexpr std::size_t kHistBins = 2000;
+constexpr std::size_t kHistBinsPerDecade = 40;
 }  // namespace
 
 PerfMonitor::PerfMonitor(Seconds sampling_cycle)
     : cycle_(sampling_cycle),
       ops_(sampling_cycle),
       bytes_series_(sampling_cycle),
-      latency_hist_(kHistLoMs, kHistHiMs, kHistBins) {}
+      latency_hist_(kHistLoMs, kHistHiMs, kHistBinsPerDecade) {}
 
 void PerfMonitor::on_complete(const storage::IoCompletion& completion) {
   ++completions_;

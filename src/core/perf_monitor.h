@@ -5,6 +5,7 @@
 // response time").
 #pragma once
 
+#include "obs/registry.h"
 #include "storage/io_request.h"
 #include "util/stats.h"
 
@@ -47,7 +48,7 @@ class PerfMonitor {
   util::TimeBinnedSeries ops_;
   util::TimeBinnedSeries bytes_series_;
   util::RunningStats latency_;
-  util::Histogram latency_hist_;
+  obs::LogHistogram latency_hist_;
   std::uint64_t completions_ = 0;
   Bytes bytes_ = 0;
   Seconds last_finish_ = 0.0;

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace tracer::core {
 
 namespace {
@@ -75,6 +78,8 @@ RealtimeReport RealtimeReplayer::replay(const trace::TraceView& view,
   if (view.empty()) {
     throw std::invalid_argument("RealtimeReplayer: empty trace");
   }
+  TRACER_SPAN("realtime.replay");
+  std::uint64_t max_outstanding = 0;
 
   struct Completion {
     Seconds latency;
@@ -101,7 +106,8 @@ RealtimeReport RealtimeReplayer::replay(const trace::TraceView& view,
       request.sector = pkg.sector;
       request.bytes = pkg.bytes;
       request.op = pkg.op;
-      outstanding.fetch_add(1, std::memory_order_relaxed);
+      max_outstanding = std::max(
+          max_outstanding, outstanding.fetch_add(1, std::memory_order_relaxed) + 1);
       const Bytes bytes = pkg.bytes;
       target.submit(request, since(start),
                     [&completions, &outstanding, bytes](Seconds latency) {
@@ -153,6 +159,21 @@ RealtimeReport RealtimeReplayer::replay(const trace::TraceView& view,
         static_cast<double>(report.bytes) / report.wall_duration / 1.0e6;
   }
   report.max_timing_error_ms = max_skew * 1e3;
+
+  // One registry touch per replay, after the issuing loop is done.
+  {
+    auto& reg = obs::Registry::global();
+    static auto& runs = reg.counter("realtime.runs");
+    static auto& bunches = reg.counter("realtime.bunches");
+    static auto& packages = reg.counter("realtime.packages");
+    static auto& depth = reg.gauge("realtime.max_outstanding");
+    static auto& skew = reg.gauge("realtime.max_skew_ms");
+    runs.increment();
+    bunches.add(view.bunch_count());
+    packages.add(report.packages);
+    depth.update_max(static_cast<double>(max_outstanding));
+    skew.update_max(report.max_timing_error_ms);
+  }
   return report;
 }
 

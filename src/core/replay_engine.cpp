@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace tracer::core {
 
 ReplayEngine::ReplayEngine(const ReplayOptions& options)
@@ -53,6 +56,7 @@ void ReplayEngine::schedule_bunch(const trace::TraceView& view,
       request.op = pkg.op;
       ++packages_in_flight_;
       ++packages_submitted_;
+      max_in_flight_ = std::max(max_in_flight_, packages_in_flight_);
       device.submit(request, [this](const storage::IoCompletion& completion) {
         --packages_in_flight_;
         monitor_.on_complete(completion);
@@ -79,11 +83,15 @@ ReplayReport ReplayEngine::replay(
   if (view.empty()) {
     throw std::invalid_argument("ReplayEngine: empty trace");
   }
+  TRACER_SPAN("replay.run");
   monitor_.reset();
   packages_in_flight_ = 0;
   packages_submitted_ = 0;
   bunches_submitted_ = 0;
+  max_in_flight_ = 0;
   trace_exhausted_ = false;
+  const std::uint64_t events_before = sim_.events_dispatched();
+  const std::uint64_t late_before = sim_.late_schedule_count();
 
   power::PowerAnalyzer analyzer(options_.sampling_cycle, options_.sensor,
                                 options_.sensor_seed);
@@ -181,6 +189,25 @@ ReplayReport ReplayEngine::replay(
   if (report.avg_watts > 0.0) {
     report.efficiency = compute_efficiency(report.perf.iops, report.perf.mbps,
                                            report.avg_watts);
+  }
+
+  // Registry counters are bumped once per replay (never per event), so the
+  // DES hot loop touches no shared state. Handles are cached in statics:
+  // after the first replay this is five relaxed atomic adds.
+  {
+    auto& reg = obs::Registry::global();
+    static auto& runs = reg.counter("replay.runs");
+    static auto& bunches = reg.counter("replay.bunches");
+    static auto& packages = reg.counter("replay.packages");
+    static auto& events = reg.counter("replay.events_scheduled");
+    static auto& late = reg.counter("replay.events_late");
+    static auto& depth = reg.gauge("replay.max_in_flight");
+    runs.increment();
+    bunches.add(bunches_submitted_);
+    packages.add(packages_submitted_);
+    events.add(sim_.events_dispatched() - events_before);
+    late.add(sim_.late_schedule_count() - late_before);
+    depth.update_max(static_cast<double>(max_in_flight_));
   }
   return report;
 }

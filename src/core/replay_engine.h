@@ -116,6 +116,7 @@ class ReplayEngine {
   std::uint64_t packages_in_flight_ = 0;
   std::uint64_t packages_submitted_ = 0;
   std::uint64_t bunches_submitted_ = 0;
+  std::uint64_t max_in_flight_ = 0;  ///< peak queue depth this replay
   bool trace_exhausted_ = false;
 };
 

@@ -2,7 +2,21 @@
 
 #include <chrono>
 
+#include "obs/registry.h"
+
 namespace tracer::net {
+
+namespace {
+obs::Counter& frames_sent_counter() {
+  static auto& c = obs::Registry::global().counter("net.frames_sent");
+  return c;
+}
+
+obs::Counter& frames_received_counter() {
+  static auto& c = obs::Registry::global().counter("net.frames_received");
+  return c;
+}
+}  // namespace
 
 std::pair<Endpoint, Endpoint> make_channel() {
   auto state = std::make_shared<Endpoint::Shared>();
@@ -29,6 +43,7 @@ bool Endpoint::send(Frame frame) {
     outbox().push_back(std::move(frame));
   }
   state_->cv.notify_all();
+  frames_sent_counter().increment();
   return true;
 }
 
@@ -39,6 +54,7 @@ std::optional<Frame> Endpoint::poll() {
   if (queue.empty()) return std::nullopt;
   Frame frame = std::move(queue.front());
   queue.pop_front();
+  frames_received_counter().increment();
   return frame;
 }
 
@@ -55,6 +71,7 @@ std::optional<Frame> Endpoint::recv(Seconds timeout) {
   if (queue.empty()) return std::nullopt;
   Frame frame = std::move(queue.front());
   queue.pop_front();
+  frames_received_counter().increment();
   return frame;
 }
 

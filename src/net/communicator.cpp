@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/registry.h"
+
 namespace tracer::net {
 
 std::uint32_t Communicator::send(Message message) {
@@ -18,7 +20,7 @@ void Communicator::send_oob(const Message& message) {
 std::optional<Message> Communicator::poll() {
   if (!stash_.empty()) {
     Message message = std::move(stash_.front());
-    stash_.erase(stash_.begin());
+    stash_.pop_front();
     return message;
   }
   auto frame = endpoint_.poll();
@@ -29,12 +31,29 @@ std::optional<Message> Communicator::poll() {
 std::optional<Message> Communicator::recv(Seconds timeout) {
   if (!stash_.empty()) {
     Message message = std::move(stash_.front());
-    stash_.erase(stash_.begin());
+    stash_.pop_front();
     return message;
   }
   auto frame = endpoint_.recv(timeout);
   if (!frame) return std::nullopt;
   return Message::deserialize(*frame);
+}
+
+void Communicator::stash_push(Message message) {
+  static auto& stashed = obs::Registry::global().counter("net.stash.stashed");
+  static auto& dropped = obs::Registry::global().counter("net.stash.dropped");
+  if (stash_capacity_ == 0) {
+    ++stash_dropped_;
+    dropped.increment();
+    return;
+  }
+  if (stash_.size() >= stash_capacity_) {
+    stash_.pop_front();  // oldest first: live progress wants the newest
+    ++stash_dropped_;
+    dropped.increment();
+  }
+  stash_.push_back(std::move(message));
+  stashed.increment();
 }
 
 std::optional<Message> Communicator::request(Message message, Seconds timeout) {
@@ -55,7 +74,7 @@ std::optional<Message> Communicator::request(Message message, Seconds timeout) {
     if (!frame) break;
     Message reply = Message::deserialize(*frame);
     if (reply.sequence == sequence) return reply;
-    stash_.push_back(std::move(reply));
+    stash_push(std::move(reply));
   }
   return std::nullopt;
 }

@@ -3,6 +3,8 @@
 // host and the workload generator own one.
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <optional>
 
 #include "net/channel.h"
@@ -12,7 +14,14 @@ namespace tracer::net {
 
 class Communicator {
  public:
-  explicit Communicator(Endpoint endpoint) : endpoint_(std::move(endpoint)) {}
+  /// Out-of-band frames that arrive while request() waits are stashed for
+  /// poll(); the stash is bounded by `stash_capacity` (a long test streams
+  /// one PROGRESS frame per sampling cycle — hours of them must not grow
+  /// memory without bound). When full, the oldest stashed frame is dropped
+  /// and counted on obs' "net.stash.dropped"; the newest frames survive,
+  /// since a live display only cares about the most recent progress.
+  explicit Communicator(Endpoint endpoint, std::size_t stash_capacity = 256)
+      : endpoint_(std::move(endpoint)), stash_capacity_(stash_capacity) {}
 
   /// Fire-and-forget send; stamps and returns the sequence number.
   std::uint32_t send(Message message);
@@ -29,18 +38,28 @@ class Communicator {
   std::optional<Message> recv(Seconds timeout);
 
   /// Send a request and wait for the message that echoes its sequence
-  /// number. Other messages arriving meanwhile are queued for poll().
+  /// number. Other messages arriving meanwhile are queued for poll(), up
+  /// to the stash bound (oldest dropped first).
   std::optional<Message> request(Message message, Seconds timeout);
 
   /// Reply to `request` with `reply` (copies the sequence number over).
   void reply(const Message& request, Message reply);
 
+  std::size_t stash_size() const { return stash_.size(); }
+  std::size_t stash_capacity() const { return stash_capacity_; }
+  /// Frames evicted from this communicator's stash since construction.
+  std::uint64_t stash_dropped() const { return stash_dropped_; }
+
   void close() { endpoint_.close(); }
 
  private:
+  void stash_push(Message message);
+
   Endpoint endpoint_;
   std::uint32_t next_sequence_ = 1;
-  std::vector<Message> stash_;  ///< out-of-band messages seen during request()
+  std::size_t stash_capacity_;
+  std::uint64_t stash_dropped_ = 0;
+  std::deque<Message> stash_;  ///< out-of-band messages seen during request()
 };
 
 }  // namespace tracer::net

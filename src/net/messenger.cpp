@@ -6,6 +6,7 @@ Message Messenger::handle(const Message& command, Seconds now) {
   switch (command.type) {
     case MessageType::kPowerInit:
       initialized_ = true;
+      running_ = false;
       analyzer_.reset();
       return make_ack(command.sequence);
 
@@ -13,14 +14,28 @@ Message Messenger::handle(const Message& command, Seconds now) {
       if (!initialized_) {
         return make_error(command.sequence, "power analyzer not initialized");
       }
+      if (running_) {
+        return make_error(command.sequence, "power measurement already running");
+      }
+      // start() opens a clean window, so START/STOP/START without a
+      // re-INIT never carries samples from the previous run forward.
       analyzer_.start(now);
+      running_ = true;
       return make_ack(command.sequence);
 
     case MessageType::kPowerStop: {
       if (!initialized_) {
         return make_error(command.sequence, "power analyzer not initialized");
       }
+      if (!running_) {
+        return make_error(command.sequence, "power measurement not running");
+      }
+      // Close the final (possibly partial) cycle, then end the window so
+      // stray sample ticks after STOP cannot pollute the returned report.
+      analyzer_.sample_at(now);
       Message result = power_result(command.sequence);
+      analyzer_.stop();
+      running_ = false;
       return result;
     }
 

@@ -25,6 +25,7 @@ class Messenger {
 
   power::PowerAnalyzer& analyzer_;
   bool initialized_ = false;
+  bool running_ = false;  ///< a measurement window is open (START..STOP)
 };
 
 }  // namespace tracer::net

@@ -1,8 +1,7 @@
 #include "net/parser.h"
 
+#include <optional>
 #include <stdexcept>
-
-#include "util/string_util.h"
 
 namespace tracer::net {
 
@@ -28,22 +27,106 @@ MessageType type_from_name(const std::string& name) {
   throw std::runtime_error("Parser: unknown command '" + name + "'");
 }
 
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Does this value survive the line protocol unquoted? Space-free values
+/// without quote/backslash/control characters are emitted raw, so legacy
+/// receivers (and git history) see the exact pre-quoting wire format.
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (is_space(c) || c == '"' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_quoted(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+/// One whitespace-delimited token with double-quoted regions decoded in
+/// place: `key="a b"` and `"ERROR reason"` are single tokens. `key_split`
+/// comes back as the offset of the first '=' seen outside quotes (npos when
+/// none), so callers can split key=value without re-scanning the decoded
+/// text (the value may legally contain '=' and decoded spaces).
+struct Token {
+  std::string text;
+  std::size_t key_split = std::string::npos;
+};
+
+std::optional<Token> next_token(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() && is_space(line[pos])) ++pos;
+  if (pos >= line.size()) return std::nullopt;
+  Token token;
+  bool quoted = false;
+  for (; pos < line.size(); ++pos) {
+    const char c = line[pos];
+    if (!quoted && is_space(c)) break;
+    if (c == '"') {
+      quoted = !quoted;
+      continue;
+    }
+    if (quoted && c == '\\') {
+      if (pos + 1 >= line.size()) {
+        throw std::runtime_error("Parser: dangling escape in '" + line + "'");
+      }
+      const char escaped = line[++pos];
+      switch (escaped) {
+        case '"': token.text += '"'; break;
+        case '\\': token.text += '\\'; break;
+        case 'n': token.text += '\n'; break;
+        case 't': token.text += '\t'; break;
+        case 'r': token.text += '\r'; break;
+        default:
+          throw std::runtime_error(std::string("Parser: bad escape '\\") +
+                                   escaped + "'");
+      }
+      continue;
+    }
+    if (!quoted && c == '=' && token.key_split == std::string::npos) {
+      token.key_split = token.text.size();
+    }
+    token.text += c;
+  }
+  if (quoted) {
+    throw std::runtime_error("Parser: unterminated quote in '" + line + "'");
+  }
+  return token;
+}
+
 }  // namespace
 
 Message Parser::parse_command(const std::string& line) {
-  const auto tokens = util::split_whitespace(line);
-  if (tokens.empty()) {
+  std::size_t pos = 0;
+  const auto command = next_token(line, pos);
+  if (!command) {
     throw std::runtime_error("Parser: empty command line");
   }
   Message message;
-  message.type = type_from_name(tokens.front());
-  for (std::size_t i = 1; i < tokens.size(); ++i) {
-    const auto eq = tokens[i].find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::runtime_error("Parser: malformed field '" + tokens[i] +
+  message.type = type_from_name(command->text);
+  while (auto token = next_token(line, pos)) {
+    if (token->key_split == std::string::npos || token->key_split == 0) {
+      throw std::runtime_error("Parser: malformed field '" + token->text +
                                "' (expected key=value)");
     }
-    message.fields[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    message.fields[token->text.substr(0, token->key_split)] =
+        token->text.substr(token->key_split + 1);
   }
   return message;
 }
@@ -51,10 +134,20 @@ Message Parser::parse_command(const std::string& line) {
 std::string Parser::format_message(const Message& message) {
   std::string out = to_string(message.type);
   for (const auto& [key, value] : message.fields) {
+    if (key.empty() || needs_quoting(key) || key.find('=') != std::string::npos) {
+      // Keys name protocol fields; one that needs quoting is a programming
+      // error, not data to be smuggled through.
+      throw std::invalid_argument("Parser: unformattable field key '" + key +
+                                  "'");
+    }
     out += ' ';
     out += key;
     out += '=';
-    out += value;
+    if (needs_quoting(value)) {
+      append_quoted(out, value);
+    } else {
+      out += value;
+    }
   }
   return out;
 }

@@ -4,6 +4,12 @@
 //
 // GUI line protocol:  COMMAND key=value key=value ...
 // e.g.                CONFIGURE_TEST rs=4K rnd=50 rd=0 load=30
+//
+// Values containing whitespace, quotes, backslashes, or control characters
+// (every ERROR reason, device names with spaces) are double-quoted with
+// C-style escapes (\" \\ \n \t \r): ERROR reason="no test configured".
+// Space-free values stay unquoted, so the wire format is unchanged for the
+// common case and legacy lines parse identically.
 #pragma once
 
 #include <string>

@@ -1,0 +1,274 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace tracer::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimal JSON string escaping (names are code-chosen, but stay safe).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+namespace {
+// Validate before the member initializers run: a bad range must throw
+// invalid_argument, not feed a negative bin count into vector's allocator.
+std::size_t checked_bin_count(double lo, double hi,
+                              std::size_t bins_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || bins_per_decade == 0) {
+    throw std::invalid_argument(
+        "LogHistogram: need 0 < lo < hi and bins_per_decade > 0");
+  }
+  return static_cast<std::size_t>(std::ceil(
+      (std::log10(hi) - std::log10(lo)) * static_cast<double>(bins_per_decade)));
+}
+}  // namespace
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : lo_(lo), hi_(hi), log_lo_(std::log10(lo)),
+      bins_per_log10_(static_cast<double>(bins_per_decade)),
+      bins_(checked_bin_count(lo, hi, bins_per_decade)) {}
+
+void LogHistogram::add(double x, std::uint64_t weight) noexcept {
+  std::size_t idx = 0;
+  if (x > lo_) {
+    const double pos = (std::log10(x) - log_lo_) * bins_per_log10_;
+    idx = std::min(static_cast<std::size_t>(pos), bins_.size() - 1);
+  }
+  bins_[idx].fetch_add(weight, std::memory_order_relaxed);
+  total_.fetch_add(weight, std::memory_order_relaxed);
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(i) / bins_per_log10_);
+}
+
+double LogHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double LogHistogram::percentile(double q) const {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto count =
+        static_cast<double>(bins_[i].load(std::memory_order_relaxed));
+    if (cum + count >= target) {
+      // Geometric interpolation within the bin keeps the estimate's
+      // relative error within one bin ratio.
+      const double frac = count > 0.0 ? (target - cum) / count : 0.0;
+      return bin_lo(i) * std::pow(bin_hi(i) / bin_lo(i), frac);
+    }
+    cum += count;
+  }
+  return hi_;
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshot::counter_or(std::string_view name,
+                                   std::uint64_t fallback) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+double Snapshot::gauge_or(std::string_view name, double fallback) const {
+  for (const auto& [key, value] : gauges) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + format_double(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& hist : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(hist.name) +
+           "\": {\"count\": " + std::to_string(hist.count) +
+           ", \"p50\": " + format_double(hist.p50) +
+           ", \"p95\": " + format_double(hist.p95) +
+           ", \"p99\": " + format_double(hist.p99) + "}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string Snapshot::to_csv() const {
+  // Names are dot-separated identifiers (never commas/quotes), so plain
+  // CSV rows are unambiguous.
+  std::string out = "kind,name,value\n";
+  for (const auto& [name, value] : counters) {
+    out += "counter," + name + "," + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "gauge," + name + "," + format_double(value) + "\n";
+  }
+  for (const auto& hist : histograms) {
+    out += "histogram," + hist.name + ".count," + std::to_string(hist.count) +
+           "\n";
+    out += "histogram," + hist.name + ".p50," + format_double(hist.p50) + "\n";
+    out += "histogram," + hist.name + ".p95," + format_double(hist.p95) + "\n";
+    out += "histogram," + hist.name + ".p99," + format_double(hist.p99) + "\n";
+  }
+  return out;
+}
+
+void Snapshot::write_json(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Snapshot: cannot write " + path.string());
+  }
+  out << to_json();
+}
+
+void Snapshot::write_csv(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Snapshot: cannot write " + path.string());
+  }
+  out << to_csv();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented code may run during static destruction.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LogHistogram& Registry::histogram(std::string_view name, double lo, double hi,
+                                  std::size_t bins_per_decade) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<LogHistogram>(lo, hi, bins_per_decade))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::HistogramStats stats;
+    stats.name = name;
+    stats.count = hist->total();
+    stats.p50 = hist->percentile(0.50);
+    stats.p95 = hist->percentile(0.95);
+    stats.p99 = hist->percentile(0.99);
+    snap.histograms.push_back(std::move(stats));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+ScopedTimer::ScopedTimer(Counter& micros, Counter& calls) noexcept
+    : micros_(micros), calls_(calls), begin_ns_(steady_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  micros_.add((steady_ns() - begin_ns_) / 1000);
+  calls_.increment();
+}
+
+}  // namespace tracer::obs

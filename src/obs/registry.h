@@ -1,0 +1,193 @@
+// Observability metrics layer (the measurement half of obs::; spans live in
+// obs/span.h). TRACER's whole point is measurement — the paper's evaluation
+// host streams per-cycle IOPS/MBPS/Watts to a GUI and stores every record
+// for later queries (§III) — and the replay/campaign machinery itself needs
+// the same treatment: named counters, gauges, and log-scale histograms that
+// the hot paths can bump without taking a shared lock.
+//
+// Concurrency model: instrument handles returned by Registry are stable for
+// the registry's lifetime, so callers look a name up once (a mutex-guarded
+// map insert) and afterwards touch only their own std::atomic — worker
+// threads in ThreadPool::parallel_for never contend on the registry lock in
+// steady state. Hot call sites cache the handle in a function-local static.
+//
+// Naming scheme (docs/OBSERVABILITY.md): dot-separated, lower-case,
+// "<subsystem>.<object>.<verb-or-unit>", e.g. "host.peak_cache.hits",
+// "replay.packages", "host.phase.filter.us".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tracer::obs {
+
+/// Monotonic event count. add() is a single relaxed fetch_add — safe and
+/// contention-tolerant from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or running-max) level, e.g. a queue depth or a skew bound.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Raise to `v` if larger (CAS loop; rarely contended in practice).
+  void update_max(double v) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram over [lo, hi): bin edges are geometrically spaced,
+/// `bins_per_decade` per factor of ten, so relative resolution is uniform
+/// across the range — sub-millisecond SSD latencies and multi-second HDD
+/// stragglers both land in meaningfully narrow bins (a linear 5 ms grid
+/// cannot resolve the former at all). Samples below lo (and non-positive
+/// values) clamp into the first bin, samples >= hi into the last, so totals
+/// are conserved. Bin counts are atomics: add() is thread-safe and lock-free.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade = 40);
+
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::size_t bin_count() const { return bins_.size(); }
+  std::uint64_t bin(std::size_t i) const {
+    return bins_.at(i).load(std::memory_order_relaxed);
+  }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Value at quantile q in [0,1], geometrically interpolated within the
+  /// bin. Relative error is bounded by one bin ratio (10^(1/bins_per_decade)).
+  double percentile(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double bins_per_log10_;  ///< bins per log10 unit
+  std::vector<std::atomic<std::uint64_t>> bins_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+/// Point-in-time copy of every instrument, safe to serialise or diff while
+/// the instruments keep counting. Entries are sorted by name (the registry
+/// map is ordered), so exports are canonical.
+struct Snapshot {
+  struct HistogramStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramStats> histograms;
+
+  /// Counter value by name, or `fallback` if the counter never existed.
+  std::uint64_t counter_or(std::string_view name,
+                           std::uint64_t fallback = 0) const;
+  double gauge_or(std::string_view name, double fallback = 0.0) const;
+
+  std::string to_json() const;
+  std::string to_csv() const;
+  void write_json(const std::filesystem::path& path) const;
+  void write_csv(const std::filesystem::path& path) const;
+};
+
+/// Named instrument registry. Lookup creates on first use; the returned
+/// reference is stable until reset_instruments()/process exit, so callers
+/// cache it. Registry::global() is the process-wide instance every
+/// instrumented subsystem reports to; independent instances exist only so
+/// tests can exercise the registry in isolation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry (leaked singleton: safe to touch from static
+  /// destructors and function-local static handles).
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Histogram range/resolution are fixed by the first call for a name;
+  /// later calls with different parameters return the existing instrument.
+  LogHistogram& histogram(std::string_view name, double lo = 1e-2,
+                          double hi = 1e4, std::size_t bins_per_decade = 40);
+
+  Snapshot snapshot() const;
+
+  /// Zero every instrument (names and handles stay valid). Tests use this;
+  /// production code should diff snapshots instead.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
+      histograms_;
+};
+
+/// Adds the scope's wall-clock duration (microseconds) to `micros` and one
+/// to `calls` on destruction — the cheap building block behind the
+/// per-phase timing breakdown (host.phase.*). ~40 ns per scope; safe to
+/// leave compiled in on per-test granularity paths.
+class ScopedTimer {
+ public:
+  ScopedTimer(Counter& micros, Counter& calls) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter& micros_;
+  Counter& calls_;
+  std::uint64_t begin_ns_;
+};
+
+}  // namespace tracer::obs

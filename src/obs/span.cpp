@@ -1,0 +1,121 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace tracer::obs {
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::enable() {
+  if (!epoch_set_.exchange(true, std::memory_order_acq_rel)) {
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now_us() const {
+  if (!epoch_set_.load(std::memory_order_acquire)) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // One buffer per (thread, process); registered once with the global list
+  // so drains can reach it. The shared_ptr keeps it alive past thread exit.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    fresh->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(const char* name, std::uint64_t begin_us,
+                    std::uint64_t dur_us) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(SpanEvent{name, begin_us, dur_us, buffer.tid});
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<SpanEvent> all = events();
+  std::sort(all.begin(), all.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+              return a.tid < b.tid;
+            });
+  // Complete ("X") events: one object per span, no pairing to get wrong.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& event : all) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    // Span names are identifier-style literals; escape defensively anyway.
+    for (const char* c = event.name; *c != '\0'; ++c) {
+      if (*c == '"' || *c == '\\') out += '\\';
+      out += *c;
+    }
+    out += "\",\"cat\":\"tracer\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    out += std::to_string(event.begin_us);
+    out += ",\"dur\":";
+    out += std::to_string(event.dur_us);
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Tracer: cannot write " + path.string());
+  }
+  out << to_chrome_json();
+}
+
+}  // namespace tracer::obs

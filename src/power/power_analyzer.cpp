@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace tracer::power {
 
 Watts ChannelReport::mean_watts() const {
@@ -48,6 +50,7 @@ void PowerAnalyzer::start(Seconds t) {
   started_at_ = t;
   last_sample_ = t;
   running_ = true;
+  stopped_ = false;
   for (auto& channel : channels_) {
     channel.energy_at_start = channel.source->energy_until(t);
     channel.last_energy = channel.energy_at_start;
@@ -56,12 +59,28 @@ void PowerAnalyzer::start(Seconds t) {
   }
 }
 
+void PowerAnalyzer::stop() {
+  if (!running_) return;
+  running_ = false;
+  stopped_ = true;
+}
+
 void PowerAnalyzer::sample_at(Seconds t) {
   if (!running_) {
+    if (stopped_) {
+      // Window closed: the driver's sampling loop may lag the STOP command;
+      // its readings must not leak into the finished report.
+      static auto& ignored =
+          obs::Registry::global().counter("power.samples_ignored");
+      ignored.increment();
+      return;
+    }
     throw std::logic_error("PowerAnalyzer: sample_at before start");
   }
   const Seconds dt = t - last_sample_;
   if (!(dt > 0.0)) return;  // duplicate boundary; nothing to integrate
+  static auto& samples = obs::Registry::global().counter("power.samples");
+  samples.add(channels_.size());
   for (auto& channel : channels_) {
     const Joules energy = channel.source->energy_until(t);
     const Watts true_avg = (energy - channel.last_energy) / dt;
@@ -89,6 +108,7 @@ const ChannelReport& PowerAnalyzer::report(std::size_t channel) const {
 
 void PowerAnalyzer::reset() {
   running_ = false;
+  stopped_ = false;
   for (auto& channel : channels_) {
     channel.report.samples.clear();
     channel.report.true_joules = 0.0;

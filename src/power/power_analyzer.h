@@ -50,9 +50,22 @@ class PowerAnalyzer {
   std::size_t add_channel(PowerSource& source);
 
   /// Begin measuring at absolute time t (first cycle ends at t + cycle).
+  /// Always opens a clean window: prior samples and energy baselines are
+  /// discarded.
   void start(Seconds t);
 
+  /// End the measurement window. Reports keep the samples taken so far;
+  /// sample_at calls after stop() are ignored (the driver's sampling loop
+  /// may outlive the window — e.g. a GUI that keeps polling after
+  /// POWER_STOP — and must not pollute the closed report).
+  void stop();
+
+  /// Measuring right now (start()ed and not yet stop()ped/reset()).
+  bool running() const { return running_; }
+
   /// Take one reading on every channel for the cycle ending at time t.
+  /// Throws if the analyzer was never started; silently ignored when the
+  /// window was closed with stop().
   void sample_at(Seconds t);
 
   /// Convenience: schedule per-cycle sampling events on `sim` over
@@ -80,6 +93,7 @@ class PowerAnalyzer {
   Seconds started_at_ = 0.0;
   Seconds last_sample_ = 0.0;
   bool running_ = false;
+  bool stopped_ = false;  ///< start()ed then stop()ped (window closed)
   std::vector<Channel> channels_;
 };
 

@@ -250,6 +250,50 @@ TEST_F(CampaignTest, ProgressStreamsCountsAndEta) {
   EXPECT_DOUBLE_EQ(updates.back().eta, 0.0);
 }
 
+TEST_F(CampaignTest, ProgressCarriesMetricsSnapshot) {
+  const std::uint64_t completed_before =
+      obs::Registry::global().snapshot().counter_or("campaign.completed");
+  CampaignOptions options = fast_options();
+  options.threads = 1;
+  options.journal_path = journal_;
+  std::vector<CampaignProgress> updates;
+  options.on_progress = [&updates](const CampaignProgress& p) {
+    updates.push_back(p);
+  };
+  CampaignRunner runner(fake_record, "fake-array", options);
+  runner.run(ten_loads());
+  ASSERT_EQ(updates.size(), 10u);
+  // Each callback sees a registry snapshot at least as fresh as its own
+  // campaign counter (registry bump precedes the callback).
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_GE(updates[i].metrics.counter_or("campaign.completed"),
+              completed_before + i + 1)
+        << "update " << i;
+  }
+  const obs::Snapshot after = obs::Registry::global().snapshot();
+  EXPECT_EQ(after.counter_or("campaign.completed") - completed_before, 10u);
+  EXPECT_GE(after.counter_or("campaign.checkpoint_writes"), 10u);
+}
+
+TEST_F(CampaignTest, RetryAndFailureCountersReachRegistry) {
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  CampaignOptions options = fast_options();
+  options.max_retries = 1;
+  options.fail_test = [](const workload::WorkloadMode& mode, int /*attempt*/) {
+    return mode.load_proportion == 0.3;  // fails both attempts
+  };
+  CampaignRunner runner(fake_record, "fake-array", options);
+  const CampaignReport report = runner.run(ten_loads());
+  EXPECT_EQ(report.failed(), 1u);
+  const obs::Snapshot after = obs::Registry::global().snapshot();
+  EXPECT_EQ(after.counter_or("campaign.retries") -
+                before.counter_or("campaign.retries"),
+            1u);
+  EXPECT_EQ(after.counter_or("campaign.failures") -
+                before.counter_or("campaign.failures"),
+            1u);
+}
+
 TEST(CampaignJournalTest, RoundTripsRecords) {
   const auto path = std::filesystem::temp_directory_path() /
                     ("tracer_journal_rt_" + std::to_string(::getpid()) +

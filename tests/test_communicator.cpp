@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
 namespace tracer::net {
@@ -84,6 +85,66 @@ TEST(Communicator, RequestTimesOutWithoutReply) {
   EXPECT_FALSE(client.request(std::move(command), 0.05).has_value());
   // The server still received the command.
   EXPECT_TRUE(server.poll().has_value());
+}
+
+// Regression: the stash was unbounded — a request() racing a PROGRESS
+// stream (one frame per sampling cycle, hours of them) grew memory without
+// limit. The stash now holds at most `stash_capacity` frames, dropping the
+// oldest, and reports the evictions.
+TEST(Communicator, StashIsBoundedAndDropsOldest) {
+  auto [a, b] = make_channel();
+  Communicator client(std::move(a), /*stash_capacity=*/4);
+  Communicator server(std::move(b));
+  EXPECT_EQ(client.stash_capacity(), 4u);
+
+  std::thread service([&server] {
+    auto request = server.recv(5.0);
+    ASSERT_TRUE(request.has_value());
+    // Flood ten unsolicited progress frames before the reply arrives.
+    for (int i = 0; i < 10; ++i) {
+      Message progress;
+      progress.type = MessageType::kProgress;
+      progress.set("tick", std::to_string(i));
+      server.send_oob(progress);
+    }
+    server.reply(*request, make_ack(0));
+  });
+  Message command;
+  command.type = MessageType::kStartTest;
+  auto reply = client.request(std::move(command), 5.0);
+  service.join();
+  ASSERT_TRUE(reply.has_value());
+
+  // Only the newest 4 frames survive; 6 were evicted oldest-first.
+  EXPECT_EQ(client.stash_size(), 4u);
+  EXPECT_EQ(client.stash_dropped(), 6u);
+  for (int i = 6; i < 10; ++i) {
+    auto stashed = client.poll();
+    ASSERT_TRUE(stashed.has_value());
+    EXPECT_EQ(*stashed->get("tick"), std::to_string(i));
+  }
+}
+
+TEST(Communicator, ZeroCapacityStashDropsEverything) {
+  auto [a, b] = make_channel();
+  Communicator client(std::move(a), /*stash_capacity=*/0);
+  Communicator server(std::move(b));
+  std::thread service([&server] {
+    auto request = server.recv(5.0);
+    ASSERT_TRUE(request.has_value());
+    Message progress;
+    progress.type = MessageType::kProgress;
+    server.send_oob(progress);
+    server.reply(*request, make_ack(0));
+  });
+  Message command;
+  command.type = MessageType::kStartTest;
+  auto reply = client.request(std::move(command), 5.0);
+  service.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(client.stash_size(), 0u);
+  EXPECT_EQ(client.stash_dropped(), 1u);
+  EXPECT_FALSE(client.poll().has_value());
 }
 
 TEST(Communicator, PollEmptyReturnsNothing) {

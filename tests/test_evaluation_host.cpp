@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <set>
 
+#include "obs/registry.h"
 #include "util/cancel_token.h"
 #include "util/thread_pool.h"
 #include "workload/cello_model.h"
@@ -205,6 +206,45 @@ TEST_F(EvaluationHostTest, RepositoryPersistsAcrossHosts) {
                         options_);
   EXPECT_TRUE(second.repository().contains(
       mode().trace_key(second.array_config().name)));
+}
+
+TEST_F(EvaluationHostTest, SweepPopulatesObservabilityCounters) {
+  // The registry is process-global and other tests bump it too, so assert
+  // on deltas across this sweep, not absolutes.
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+
+  EvaluationHost host(storage::ArrayConfig::hdd_testbed(6), dir_, options_);
+  std::vector<workload::WorkloadMode> modes;
+  for (int level = 1; level <= 10; ++level) {
+    modes.push_back(mode(level / 10.0));
+  }
+  const auto outcomes = host.run_sweep(modes);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+  }
+
+  const obs::Snapshot after = obs::Registry::global().snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter_or(name) - before.counter_or(name);
+  };
+  // 10 load levels of one mode: one build/miss, nine (or more) hits.
+  EXPECT_EQ(delta("host.peak_cache.misses"), 1u);
+  EXPECT_EQ(delta("host.peak_cache.builds"), 1u);
+  EXPECT_GE(delta("host.peak_cache.hits"), 9u);
+  // Every test replayed a filtered trace through the engine.
+  EXPECT_EQ(delta("replay.runs"), 10u);
+  EXPECT_GT(delta("replay.events_scheduled"), 0u);
+  EXPECT_GT(delta("replay.packages"), 0u);
+  // Phase timers saw every test (generate ran once, behind the cache).
+  EXPECT_EQ(delta("host.phase.generate.calls"), 1u);
+  EXPECT_EQ(delta("host.phase.filter.calls"), 10u);
+  EXPECT_EQ(delta("host.phase.replay.calls"), 10u);
+  EXPECT_EQ(delta("host.phase.measure.calls"), 10u);
+  EXPECT_GT(delta("host.phase.replay.us"), 0u);
+  // Power sampling ran during each replay.
+  EXPECT_GT(delta("power.samples"), 0u);
+  // Queue depth gauge saw at least one in-flight package.
+  EXPECT_GE(after.gauge_or("replay.max_in_flight"), 1.0);
 }
 
 TEST_F(EvaluationHostTest, SsdArrayWorksEndToEnd) {

@@ -113,5 +113,79 @@ TEST(Messenger, InitResetsPriorRun) {
   EXPECT_EQ(*result.get_u64("ch0.samples"), 1u);
 }
 
+// Regression: STOP never ended the measurement window, so (a) a second
+// STOP without a START quietly returned another report, and (b) driver
+// sample ticks arriving after STOP polluted the next report. STOP now
+// closes the window; START opens a clean one.
+TEST(Messenger, SecondStopWithoutStartIsError) {
+  FakeSource source(40.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  messenger.handle(command(MessageType::kPowerInit, 1), 0.0);
+  messenger.handle(command(MessageType::kPowerStart, 2), 0.0);
+  analyzer.sample_at(1.0);
+  EXPECT_EQ(messenger.handle(command(MessageType::kPowerStop, 3), 1.0).type,
+            MessageType::kPowerResult);
+  const Message again = messenger.handle(command(MessageType::kPowerStop, 4),
+                                         2.0);
+  EXPECT_EQ(again.type, MessageType::kError);
+  EXPECT_NE(again.get("reason")->find("not running"), std::string::npos);
+}
+
+TEST(Messenger, SamplesAfterStopAreIgnored) {
+  FakeSource source(40.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  messenger.handle(command(MessageType::kPowerInit, 1), 0.0);
+  messenger.handle(command(MessageType::kPowerStart, 2), 0.0);
+  analyzer.sample_at(1.0);
+  messenger.handle(command(MessageType::kPowerStop, 3), 1.0);
+  // The driver's sampling loop lags the STOP; pre-fix this threw or (after
+  // a later START) leaked into the next window. It must be a silent no-op.
+  analyzer.sample_at(2.0);
+  analyzer.sample_at(3.0);
+  EXPECT_EQ(analyzer.report(0).samples.size(), 1u);
+}
+
+TEST(Messenger, StartStopStartWindowsAreIsolated) {
+  FakeSource source(40.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  messenger.handle(command(MessageType::kPowerInit, 1), 0.0);
+
+  messenger.handle(command(MessageType::kPowerStart, 2), 0.0);
+  for (int t = 1; t <= 4; ++t) analyzer.sample_at(t);
+  const Message first =
+      messenger.handle(command(MessageType::kPowerStop, 3), 4.0);
+  EXPECT_EQ(*first.get_u64("ch0.samples"), 4u);
+
+  // Second window without re-INIT: must start clean, not inherit the four
+  // samples (or the stray post-STOP tick) from the first window.
+  analyzer.sample_at(5.0);  // stray driver tick between windows
+  messenger.handle(command(MessageType::kPowerStart, 4), 6.0);
+  analyzer.sample_at(7.0);
+  const Message second =
+      messenger.handle(command(MessageType::kPowerStop, 5), 7.0);
+  EXPECT_EQ(second.type, MessageType::kPowerResult);
+  EXPECT_EQ(*second.get_u64("ch0.samples"), 1u);
+  EXPECT_NEAR(*second.get_double("ch0.watts"), 40.0, 1e-6);
+}
+
+TEST(Messenger, DoubleStartIsError) {
+  FakeSource source(40.0);
+  power::PowerAnalyzer analyzer(1.0, perfect_sensor());
+  analyzer.add_channel(source);
+  Messenger messenger(analyzer);
+  messenger.handle(command(MessageType::kPowerInit, 1), 0.0);
+  messenger.handle(command(MessageType::kPowerStart, 2), 0.0);
+  const Message again =
+      messenger.handle(command(MessageType::kPowerStart, 3), 1.0);
+  EXPECT_EQ(again.type, MessageType::kError);
+  EXPECT_NE(again.get("reason")->find("already running"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tracer::net

@@ -1,0 +1,203 @@
+// obs::Registry / Counter / Gauge / LogHistogram / Snapshot unit tests.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace tracer::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndUpdateMax) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.update_max(2.0);  // lower: no change
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.update_max(7.25);
+  EXPECT_DOUBLE_EQ(g.value(), 7.25);
+}
+
+TEST(Registry, HandleIsStableAndShared) {
+  Registry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Distinct kinds may share a name without clashing.
+  Gauge& g = reg.gauge("x.count");
+  g.set(1.0);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(Registry, ConcurrentLookupAndBumpIsConsistent) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Every thread looks the instruments up itself — exercising the
+      // registry lock — then hammers the shared atomics.
+      Counter& c = reg.counter("conc.count");
+      LogHistogram& h = reg.histogram("conc.hist", 0.01, 1000.0);
+      Gauge& g = reg.gauge("conc.max");
+      for (int i = 0; i < kIters; ++i) {
+        c.increment();
+        h.add(static_cast<double>(i % 100) + 0.5);
+        g.update_max(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("conc.count").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("conc.hist").total(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(reg.gauge("conc.max").value(), kIters - 1);
+}
+
+TEST(LogHistogram, BinEdgesAreGeometric) {
+  LogHistogram h(0.01, 10000.0, 40);
+  // 6 decades x 40 bins.
+  EXPECT_EQ(h.bin_count(), 240u);
+  const double ratio = h.bin_hi(0) / h.bin_lo(0);
+  for (std::size_t i = 1; i < h.bin_count(); i += 37) {
+    EXPECT_NEAR(h.bin_hi(i) / h.bin_lo(i), ratio, 1e-9);
+  }
+  EXPECT_NEAR(h.bin_lo(0), 0.01, 1e-12);
+  EXPECT_NEAR(h.bin_hi(h.bin_count() - 1), 10000.0, 1e-6);
+}
+
+TEST(LogHistogram, ClampsOutOfRangeIntoEdgeBins) {
+  LogHistogram h(1.0, 100.0, 10);
+  h.add(0.5);     // below lo
+  h.add(-3.0);    // non-positive
+  h.add(1000.0);  // above hi
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(h.bin_count() - 1), 1u);
+}
+
+TEST(LogHistogram, PercentileTracksExactWithinOneBinRatio) {
+  LogHistogram h(0.01, 10000.0, 40);
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(1.0, 1.2);
+  std::vector<double> exact;
+  exact.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist(rng);
+    exact.push_back(x);
+    h.add(x);
+  }
+  std::sort(exact.begin(), exact.end());
+  // One-bin relative resolution: 10^(1/40) ~= 1.059.
+  const double tolerance = std::pow(10.0, 1.0 / 40.0);
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double expected =
+        exact[static_cast<std::size_t>(q * (exact.size() - 1))];
+    const double got = h.percentile(q);
+    EXPECT_LE(got / expected, tolerance * 1.02) << "q=" << q;
+    EXPECT_GE(got / expected, 1.0 / (tolerance * 1.02)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, RejectsBadRange) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Snapshot, ReflectsValuesAndLookupByName) {
+  Registry reg;
+  reg.counter("a.count").add(5);
+  reg.gauge("b.level").set(2.5);
+  LogHistogram& h = reg.histogram("c.lat", 0.1, 100.0);
+  for (int i = 0; i < 100; ++i) h.add(10.0);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("a.count"), 5u);
+  EXPECT_EQ(snap.counter_or("missing", 77), 77u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("b.level"), 2.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "c.lat");
+  EXPECT_EQ(snap.histograms[0].count, 100u);
+  EXPECT_NEAR(snap.histograms[0].p50, 10.0, 10.0 * 0.07);
+
+  // Snapshot is a copy: later bumps don't mutate it.
+  reg.counter("a.count").add(100);
+  EXPECT_EQ(snap.counter_or("a.count"), 5u);
+}
+
+TEST(Snapshot, JsonAndCsvExportContainEveryInstrument) {
+  Registry reg;
+  reg.counter("n.sent").add(3);
+  reg.gauge("n.depth").set(4.0);
+  reg.histogram("n.lat", 0.1, 10.0).add(1.0);
+
+  const Snapshot snap = reg.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"n.sent\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"n.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"n.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("counter,n.sent,3"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("gauge,n.depth,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,n.lat.count,1"), std::string::npos);
+}
+
+TEST(Registry, ResetValuesZeroesButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter("r.count");
+  c.add(9);
+  reg.gauge("r.level").set(1.0);
+  reg.histogram("r.lat", 0.1, 10.0).add(1.0);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);  // same handle, zeroed
+  EXPECT_DOUBLE_EQ(reg.gauge("r.level").value(), 0.0);
+  EXPECT_EQ(reg.histogram("r.lat").total(), 0u);
+}
+
+TEST(ScopedTimer, AccumulatesDurationAndCalls) {
+  Counter micros;
+  Counter calls;
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer timer(micros, calls);
+    // Busy-wait a hair so the duration is visibly non-negative; zero is
+    // still legal on a coarse clock.
+  }
+  EXPECT_EQ(calls.value(), 3u);
+  EXPECT_GE(micros.value(), 0u);
+}
+
+TEST(Registry, GlobalIsSameInstance) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+  Counter& c = Registry::global().counter("test.obs.global_probe");
+  c.increment();
+  EXPECT_GE(Registry::global()
+                .snapshot()
+                .counter_or("test.obs.global_probe"),
+            1u);
+}
+
+}  // namespace
+}  // namespace tracer::obs

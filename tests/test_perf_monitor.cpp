@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
 namespace tracer::core {
 namespace {
 
@@ -49,10 +54,36 @@ TEST(PerfMonitor, ResponseTimeStatistics) {
   const PerfReport report = monitor.report(1.0);
   EXPECT_NEAR(report.avg_response_ms, 20.0, 1e-9);
   EXPECT_NEAR(report.max_response_ms, 30.0, 1e-9);
-  // p95 interpolates within the 5 ms histogram bin holding the 30 ms
-  // sample, so it may land anywhere in [30, 35).
+  // p95 interpolates within the log-scale bin holding the 30 ms sample
+  // (~6% wide at 40 bins/decade).
   EXPECT_GE(report.p95_response_ms, 20.0);
   EXPECT_LE(report.p95_response_ms, 35.0);
+}
+
+// Regression: the old linear 5 ms-bin histogram put every sub-5 ms latency
+// in bin 0, so SSD-class p95s came back as ~4.x ms regardless of the data.
+// The log-scale histogram must track the exact percentile to one bin ratio
+// (10^(1/40) ~= 6%) across both SSD (sub-ms) and HDD (tens of ms) regimes.
+TEST(PerfMonitor, P95TracksExactPercentileAcrossRegimes) {
+  for (const double scale_ms : {0.2, 8.0, 300.0}) {
+    PerfMonitor monitor;
+    std::mt19937_64 rng(42);
+    std::lognormal_distribution<double> dist(std::log(scale_ms), 0.5);
+    std::vector<double> exact;
+    exact.reserve(5000);
+    for (int i = 0; i < 5000; ++i) {
+      const double ms = dist(rng);
+      exact.push_back(ms);
+      monitor.on_complete(completion(0.0, ms / 1e3, 512));
+    }
+    std::sort(exact.begin(), exact.end());
+    const double exact_p95 = exact[static_cast<std::size_t>(
+        0.95 * (exact.size() - 1))];
+    const double p95 = monitor.report(1.0).p95_response_ms;
+    EXPECT_NEAR(p95 / exact_p95, 1.0, 0.08)
+        << "scale " << scale_ms << " ms: histogram p95 " << p95
+        << " vs exact " << exact_p95;
+  }
 }
 
 TEST(PerfMonitor, SeriesBinsBySamplingCycle) {
