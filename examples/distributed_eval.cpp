@@ -8,18 +8,186 @@
 // campaign gets the same failure semantics as the local one: a test that
 // fails on the wire is retried, then isolated to a single failed slot
 // instead of sinking the whole run.
+//
+// The links are net::FaultyEndpoints, so the wire can be degraded from the
+// command line (docs/RESILIENCE.md):
+//
+//   distributed_eval [--drop R] [--dup R] [--corrupt R] [--delay R]
+//                    [--reorder R] [--fault-seed N] [--disconnect-at N]
+//                    [--metrics-out PATH]
+//
+// With faults enabled the clients turn on heartbeats, liveness deadlines,
+// retries, and reconnect; the run must still produce every record exactly
+// once. --disconnect-at N hard-closes each remote's first connection at
+// frame N to demonstrate reconnect + server-side dedup. --metrics-out
+// writes the obs counter snapshot (retries, dedup hits, reconnects, fault
+// tallies) as JSON.
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "core/campaign.h"
 #include "core/remote.h"
+#include "net/fault.h"
+#include "obs/registry.h"
 #include "util/table.h"
 
-int main() {
-  using namespace tracer;
+namespace {
+
+using namespace tracer;
+
+struct CliOptions {
+  net::FaultPlan plan;                // rates shared by both directions
+  std::uint64_t disconnect_at = 0;    // first connection, server->client
+  std::filesystem::path metrics_out;  // empty = don't write
+
+  bool faulty() const {
+    return plan.drop_rate > 0 || plan.duplicate_rate > 0 ||
+           plan.corrupt_rate > 0 || plan.delay_rate > 0 ||
+           plan.reorder_rate > 0 || disconnect_at > 0;
+  }
+};
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--drop") {
+      options.plan.drop_rate = std::stod(value(i));
+    } else if (arg == "--dup") {
+      options.plan.duplicate_rate = std::stod(value(i));
+    } else if (arg == "--corrupt") {
+      options.plan.corrupt_rate = std::stod(value(i));
+    } else if (arg == "--delay") {
+      options.plan.delay_rate = std::stod(value(i));
+    } else if (arg == "--reorder") {
+      options.plan.reorder_rate = std::stod(value(i));
+    } else if (arg == "--fault-seed") {
+      options.plan.seed = std::stoull(value(i));
+    } else if (arg == "--disconnect-at") {
+      options.disconnect_at = std::stoull(value(i));
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = value(i);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: distributed_eval [--drop R] [--dup R] [--corrupt R]\n"
+          "            [--delay R] [--reorder R] [--fault-seed N]\n"
+          "            [--disconnect-at N] [--metrics-out PATH]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// One reconnectable client<->service link: a service thread accepting
+/// fresh endpoint pairs, and a client communicator whose reconnect hook
+/// re-pairs through it — the in-process shape of "dial the server again".
+class RemoteLink {
+ public:
+  RemoteLink(core::EvaluationHost& host, const CliOptions& options,
+             std::uint64_t salt)
+      : options_(options), salt_(salt), service_(host) {
+    server_thread_ = std::thread([this] {
+      while (auto endpoint = accept()) {
+        net::Communicator comm(std::move(*endpoint));
+        service_.serve(comm);
+      }
+    });
+    comm_.emplace(connect());
+    if (options_.faulty()) {
+      comm_->set_heartbeat_interval(0.05);
+      comm_->set_liveness_timeout(0.5);
+    }
+    core::RemoteClientOptions client_options;
+    if (options_.faulty()) {
+      client_options.max_attempts = 20;
+      client_options.backoff.base = 0.005;
+      client_options.backoff.cap = 0.05;
+      client_options.backoff.jitter = 0.2;
+    }
+    client_.emplace(*comm_, client_options);
+    client_->set_reconnect([this] {
+      comm_->reset(connect());
+      return true;
+    });
+  }
+
+  core::RemoteWorkloadClient& client() { return *client_; }
+
+  void shutdown() {
+    client_->stop();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+    server_thread_.join();
+  }
+
+ private:
+  net::FaultyEndpoint connect() {
+    const std::uint64_t n = connections_++;
+    net::FaultPlan to_server = options_.plan;
+    net::FaultPlan to_client = options_.plan;
+    to_server.seed = options_.plan.seed * 4099 + salt_ * 2 + n;
+    to_client.seed = options_.plan.seed * 8209 + salt_ * 2 + n + 1;
+    // Only the first connection carries the scripted hard disconnect; the
+    // re-dialed ones stay up (modulo the probabilistic faults).
+    to_client.disconnect_at = n == 0 ? options_.disconnect_at : 0;
+    auto [client_end, server_end] =
+        net::make_faulty_channel(to_server, to_client);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(std::move(server_end));
+    }
+    cv_.notify_all();
+    return std::move(client_end);
+  }
+
+  std::optional<net::FaultyEndpoint> accept() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+    if (pending_.empty()) return std::nullopt;
+    auto endpoint = std::move(pending_.front());
+    pending_.pop_front();
+    return endpoint;
+  }
+
+  CliOptions options_;
+  std::uint64_t salt_;
+  std::uint64_t connections_ = 0;
+  core::WorkloadGeneratorService service_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<net::FaultyEndpoint> pending_;
+  bool closed_ = false;
+  std::optional<net::Communicator> comm_;
+  std::optional<core::RemoteWorkloadClient> client_;
+  std::thread server_thread_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_args(argc, argv);
 
   const auto repo =
       std::filesystem::temp_directory_path() / "tracer-distributed";
@@ -32,20 +200,8 @@ int main() {
   core::EvaluationHost ssd_host(storage::ArrayConfig::ssd_testbed(4),
                                 repo / "ssd", options);
 
-  auto [hdd_client_end, hdd_server_end] = net::make_channel();
-  auto [ssd_client_end, ssd_server_end] = net::make_channel();
-  net::Communicator hdd_client(std::move(hdd_client_end));
-  net::Communicator hdd_server(std::move(hdd_server_end));
-  net::Communicator ssd_client(std::move(ssd_client_end));
-  net::Communicator ssd_server(std::move(ssd_server_end));
-
-  core::WorkloadGeneratorService hdd_service(hdd_host);
-  core::WorkloadGeneratorService ssd_service(ssd_host);
-  std::thread hdd_thread([&] { hdd_service.serve(hdd_server); });
-  std::thread ssd_thread([&] { ssd_service.serve(ssd_server); });
-
-  core::RemoteWorkloadClient hdd_remote(hdd_client);
-  core::RemoteWorkloadClient ssd_remote(ssd_client);
+  RemoteLink hdd_link(hdd_host, cli, /*salt=*/1);
+  RemoteLink ssd_link(ssd_host, cli, /*salt=*/2);
 
   workload::WorkloadMode base;
   base.request_size = 16 * kKiB;
@@ -74,10 +230,10 @@ int main() {
   core::CampaignOptions campaign_options;
   campaign_options.threads = 1;
   campaign_options.max_retries = 1;
-  core::CampaignRunner hdd_runner(remote_executor(hdd_remote),
+  core::CampaignRunner hdd_runner(remote_executor(hdd_link.client()),
                                   hdd_host.array_config().name,
                                   campaign_options);
-  core::CampaignRunner ssd_runner(remote_executor(ssd_remote),
+  core::CampaignRunner ssd_runner(remote_executor(ssd_link.client()),
                                   ssd_host.array_config().name,
                                   campaign_options);
 
@@ -88,10 +244,8 @@ int main() {
   hdd_campaign.join();
   ssd_campaign.join();
 
-  hdd_remote.stop();
-  ssd_remote.stop();
-  hdd_thread.join();
-  ssd_thread.join();
+  hdd_link.shutdown();
+  ssd_link.shutdown();
 
   util::Table table({"host", "mode", "IOPS", "MBPS", "watts", "IOPS/Watt"});
   for (const auto* report : {&hdd_report, &ssd_report}) {
@@ -118,5 +272,22 @@ int main() {
   table.print(std::cout);
   std::printf("\nlocal databases: hdd=%zu records, ssd=%zu records\n",
               hdd_host.database().size(), ssd_host.database().size());
+
+  if (cli.faulty()) {
+    auto& reg = obs::Registry::global();
+    auto count = [&reg](const char* name) {
+      return static_cast<unsigned long long>(reg.counter(name).value());
+    };
+    std::printf(
+        "resilience: %llu retries, %llu dedup hits, %llu reconnects, "
+        "%llu dropped, %llu corrupted, %llu disconnects\n",
+        count("net.rpc.retries"), count("net.rpc.dedup_hits"),
+        count("net.rpc.reconnects"), count("net.fault.dropped"),
+        count("net.fault.corrupted"), count("net.fault.disconnects"));
+  }
+  if (!cli.metrics_out.empty()) {
+    obs::Registry::global().snapshot().write_json(cli.metrics_out);
+    std::printf("metrics written to %s\n", cli.metrics_out.string().c_str());
+  }
   return hdd_report.all_ok() && ssd_report.all_ok() ? 0 : 1;
 }

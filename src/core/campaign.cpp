@@ -26,6 +26,14 @@ std::size_t CampaignReport::count(TestStatus status) const {
                     }));
 }
 
+std::size_t CampaignReport::degraded() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const TestOutcome& o) {
+                      return o.ok() && !o.record.power_valid;
+                    }));
+}
+
 bool CampaignReport::all_ok() const {
   return std::all_of(outcomes.begin(), outcomes.end(),
                      [](const TestOutcome& o) { return o.ok(); });
@@ -77,6 +85,15 @@ void CampaignRunner::bump_progress(
 TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
                                     const std::string& trace_name) {
   TestOutcome outcome;
+  // Jitter is seeded per test so a campaign's retry schedule is
+  // reproducible yet no two tests share a schedule.
+  util::Backoff backoff({.base = options_.retry_backoff,
+                         .multiplier = 2.0,
+                         .cap = options_.retry_backoff_cap,
+                         .jitter = options_.retry_jitter},
+                        std::hash<std::string>{}(trace_name) ^
+                            static_cast<std::uint64_t>(
+                                mode.load_proportion * 10000.0));
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (cancel_.cancelled()) break;
     ++outcome.attempts;
@@ -100,11 +117,20 @@ TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
         checkpoints.increment();
       }
       outcome.status = TestStatus::kCompleted;
+      const bool degraded_power = !record.power_valid;
       outcome.record = std::move(record);
       static auto& completed =
           obs::Registry::global().counter("campaign.completed");
       completed.increment();
-      bump_progress([](CampaignProgress& p) { ++p.completed; });
+      if (degraded_power) {
+        static auto& degraded =
+            obs::Registry::global().counter("campaign.degraded");
+        degraded.increment();
+      }
+      bump_progress([degraded_power](CampaignProgress& p) {
+        ++p.completed;
+        if (degraded_power) ++p.degraded;
+      });
       return outcome;
     } catch (const std::exception& e) {
       outcome.error = e.what();
@@ -112,6 +138,12 @@ TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
       outcome.error = "unknown error";
     }
     if (attempt < options_.max_retries && !cancel_.cancelled()) {
+      // Give the caller a chance to repair the failure's cause (reconnect
+      // a remote endpoint, restart a service) — or to declare it fatal.
+      if (options_.on_attempt_failure &&
+          !options_.on_attempt_failure(mode, attempt, outcome.error)) {
+        break;
+      }
       TRACER_LOG(kWarn) << "campaign test " << trace_name << " @ "
                         << mode.load_proportion << " attempt " << attempt
                         << " failed (" << outcome.error << "), retrying";
@@ -119,9 +151,8 @@ TestOutcome CampaignRunner::run_one(const workload::WorkloadMode& mode,
           obs::Registry::global().counter("campaign.retries");
       retries.increment();
       bump_progress([](CampaignProgress& p) { ++p.retries; });
-      const Seconds backoff =
-          options_.retry_backoff * static_cast<double>(1u << attempt);
-      if (backoff > 0.0) cancel_.sleep_for(backoff);
+      const Seconds delay = backoff.delay(attempt);
+      if (delay > 0.0) cancel_.sleep_for(delay);
     }
   }
   if (outcome.attempts == 0) {

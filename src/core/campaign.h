@@ -31,6 +31,7 @@
 #include "core/evaluation_host.h"
 #include "db/journal.h"
 #include "obs/registry.h"
+#include "util/backoff.h"
 #include "util/cancel_token.h"
 
 namespace tracer::core {
@@ -63,6 +64,9 @@ struct CampaignProgress {
   std::size_t skipped = 0;    ///< resumed from the journal
   std::size_t failed = 0;
   std::size_t retries = 0;    ///< extra attempts across all tests
+  /// Completed tests whose record came back power_valid=false (power
+  /// analyzer degraded; perf fields valid, efficiency N/A).
+  std::size_t degraded = 0;
   Seconds elapsed = 0.0;
   Seconds eta = 0.0;  ///< remaining-time estimate; 0 until measurable
   /// Point-in-time snapshot of the process-global obs registry, taken just
@@ -83,6 +87,7 @@ struct CampaignReport {
   std::size_t skipped() const { return count(TestStatus::kSkipped); }
   std::size_t failed() const { return count(TestStatus::kFailed); }
   std::size_t cancelled() const { return count(TestStatus::kCancelled); }
+  std::size_t degraded() const;  ///< ok slots with power_valid == false
   bool all_ok() const;  ///< every slot completed or skipped
 };
 
@@ -91,9 +96,15 @@ struct CampaignOptions {
   std::filesystem::path journal_path;
   /// Extra attempts per test after the first failure (0 = fail fast).
   int max_retries = 2;
-  /// Wall-clock backoff before the first retry; doubles per attempt. The
-  /// sleep is cancellation-aware, so Ctrl-C is never stuck behind it.
+  /// Wall-clock backoff before the first retry; doubles per attempt, is
+  /// capped at retry_backoff_cap, and is spread by +-retry_jitter so a
+  /// fleet of workers retrying the same dead dependency doesn't stampede
+  /// it in lockstep. The sleep is cancellation-aware, so Ctrl-C is never
+  /// stuck behind it. This is the same util::Backoff policy the net layer
+  /// uses between RPC attempts.
   Seconds retry_backoff = 0.05;
+  Seconds retry_backoff_cap = 5.0;
+  double retry_jitter = 0.1;  ///< fractional spread in [0, 1)
   /// Worker threads (0 = hardware concurrency). Executor-backed runners
   /// whose executor is not thread-safe should pass 1.
   std::size_t threads = 0;
@@ -104,6 +115,16 @@ struct CampaignOptions {
   /// Deterministic fault injection: return true to fail `attempt`
   /// (0-based) of `mode` before it reaches the executor.
   std::function<bool(const workload::WorkloadMode&, int attempt)> fail_test;
+  /// Called after attempt `attempt` (0-based) of `mode` failed with
+  /// `error`, before the backoff sleep. Return false to stop retrying this
+  /// test (it fails immediately); return true to continue. This is where a
+  /// distributed campaign re-pairs a dead link: reconnect the remote
+  /// client's endpoint here and the next attempt runs over the new
+  /// connection, resuming from the journal checkpoint if the process dies
+  /// instead (docs/RESILIENCE.md).
+  std::function<bool(const workload::WorkloadMode&, int attempt,
+                     const std::string& error)>
+      on_attempt_failure;
 };
 
 class CampaignRunner {

@@ -1,0 +1,92 @@
+#include "core/power_channel.h"
+
+#include <string>
+
+#include "net/message.h"
+#include "util/logging.h"
+
+namespace tracer::core {
+
+std::optional<PowerReading> decode_power_result(const net::Message& message) {
+  if (message.type != net::MessageType::kPowerResult) return std::nullopt;
+  const auto channels = message.get_u64("channels");
+  if (!channels) return std::nullopt;
+  PowerReading reading;
+  double volts_sum = 0.0;
+  for (std::uint64_t ch = 0; ch < *channels; ++ch) {
+    const std::string prefix = "ch" + std::to_string(ch) + ".";
+    const auto watts = message.get_double(prefix + "watts");
+    const auto joules = message.get_double(prefix + "joules");
+    const auto volts = message.get_double(prefix + "volts");
+    const auto amps = message.get_double(prefix + "amps");
+    if (!watts || !joules || !volts || !amps) return std::nullopt;
+    // Channels clamp separate supply lines of one system under test (Fig
+    // 3), so power-like quantities add; volts is reported as the mean.
+    reading.avg_watts += *watts;
+    reading.joules += *joules;
+    reading.avg_amps += *amps;
+    volts_sum += *volts;
+  }
+  if (*channels > 0) {
+    reading.avg_volts = volts_sum / static_cast<double>(*channels);
+  }
+  return reading;
+}
+
+net::CallOptions RemotePowerChannel::call_options() {
+  net::CallOptions options;
+  options.attempt_timeout = options_.timeout;
+  options.max_attempts = options_.max_attempts;
+  options.backoff = options_.backoff;
+  options.on_attempt_failure = [this](int attempts_made) {
+    if (!comm_.peer_closed()) return true;  // timeout: plain retry
+    if (!reconnect_) return false;
+    TRACER_LOG(kWarn) << "power: analyzer link lost after attempt "
+                      << attempts_made << ", reconnecting";
+    if (!reconnect_()) return false;
+    // The analyzer process behind the new link may be a fresh one; make
+    // the next window re-INIT rather than trusting stale session state.
+    initialized_ = false;
+    return true;
+  };
+  return options;
+}
+
+std::optional<net::Message> RemotePowerChannel::call_checked(
+    net::MessageType type) {
+  net::Message command;
+  command.type = type;
+  auto reply = comm_.call(std::move(command), call_options());
+  if (!reply) {
+    TRACER_LOG(kWarn) << "power: no reply to " << net::to_string(type)
+                      << ", degrading";
+    return std::nullopt;
+  }
+  if (reply->type == net::MessageType::kError) {
+    const auto detail = reply->get("error");
+    TRACER_LOG(kWarn) << "power: " << net::to_string(type) << " failed: "
+                      << (detail ? *detail : std::string("unknown error"));
+    return std::nullopt;
+  }
+  return reply;
+}
+
+bool RemotePowerChannel::start_window() {
+  if (!initialized_) {
+    if (!call_checked(net::MessageType::kPowerInit)) return false;
+    initialized_ = true;
+  }
+  return call_checked(net::MessageType::kPowerStart).has_value();
+}
+
+std::optional<PowerReading> RemotePowerChannel::stop_window() {
+  auto reply = call_checked(net::MessageType::kPowerStop);
+  if (!reply) return std::nullopt;
+  auto reading = decode_power_result(*reply);
+  if (!reading) {
+    TRACER_LOG(kWarn) << "power: malformed POWER_RESULT, degrading";
+  }
+  return reading;
+}
+
+}  // namespace tracer::core

@@ -1,0 +1,88 @@
+// Power measurement as a control-plane dependency (§III-A3, Fig 1): the
+// evaluation host brackets each replay with POWER_START / POWER_STOP
+// against a power-analyzer host and folds the returned POWER_RESULT into
+// the test record. That host is the component most likely to be somewhere
+// else — a different machine clamped to the testbed's supply lines — so it
+// is also the component whose failure must degrade, not abort: a test that
+// replayed fine but lost its power window completes with
+// record.power_valid=false instead of failing the slot (docs/RESILIENCE.md).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/communicator.h"
+#include "util/backoff.h"
+#include "util/types.h"
+
+namespace tracer::core {
+
+/// One measurement window's aggregate, summed over analyzer channels.
+struct PowerReading {
+  double avg_amps = 0.0;
+  double avg_volts = 0.0;
+  Watts avg_watts = 0.0;
+  Joules joules = 0.0;
+};
+
+/// Where a test's power numbers come from when they are not the replay
+/// engine's own metering. Implementations signal degradation by returning
+/// false / nullopt — never by throwing (a lost power window must not look
+/// like a failed test).
+class PowerChannel {
+ public:
+  virtual ~PowerChannel() = default;
+
+  /// Open a measurement window. False = the channel is down; the caller
+  /// records the test with power_valid=false and skips stop_window().
+  virtual bool start_window() = 0;
+
+  /// Close the window and fetch the reading; nullopt = degraded.
+  virtual std::optional<PowerReading> stop_window() = 0;
+};
+
+/// PowerChannel over a Communicator speaking to a net::Messenger-served
+/// power analyzer — the wire path of Fig 1. POWER_INIT is sent lazily
+/// before the first window and again after a reconnect. All commands go
+/// through Communicator::call, so they retry idempotently; a retried
+/// POWER_STOP hits the messenger's dedup cache and returns the original
+/// POWER_RESULT rather than a "not running" error.
+class RemotePowerChannel : public PowerChannel {
+ public:
+  struct Options {
+    Seconds timeout = 5.0;  ///< per-attempt reply wait
+    int max_attempts = 3;
+    util::Backoff::Params backoff;
+  };
+
+  explicit RemotePowerChannel(net::Communicator& comm)
+      : RemotePowerChannel(comm, Options{}) {}
+  RemotePowerChannel(net::Communicator& comm, Options options)
+      : comm_(comm), options_(options) {}
+
+  /// Reconnect hook, as in RemoteWorkloadClient::set_reconnect. A
+  /// successful reconnect forces re-INIT before the next window.
+  void set_reconnect(std::function<bool()> hook) {
+    reconnect_ = std::move(hook);
+  }
+
+  bool start_window() override;
+  std::optional<PowerReading> stop_window() override;
+
+  net::Communicator& comm() { return comm_; }
+
+ private:
+  net::CallOptions call_options();
+  std::optional<net::Message> call_checked(net::MessageType type);
+
+  net::Communicator& comm_;
+  Options options_;
+  std::function<bool()> reconnect_;
+  bool initialized_ = false;
+};
+
+/// Decode a POWER_RESULT frame (net::Messenger::power_result layout) into
+/// an aggregate reading; nullopt when any per-channel field is missing.
+std::optional<PowerReading> decode_power_result(const net::Message& message);
+
+}  // namespace tracer::core

@@ -13,7 +13,9 @@ namespace tracer::db {
 
 namespace {
 constexpr char kMagic[4] = {'T', 'R', 'D', 'B'};
-constexpr std::uint16_t kVersion = 1;
+// v2 appends the power_valid flag to each record; v1 files (no flag) are
+// still readable, defaulting it to true.
+constexpr std::uint16_t kVersion = 2;
 
 void write_record(util::BinaryWriter& writer, const TestRecord& r) {
   writer.u64(r.test_id);
@@ -33,9 +35,10 @@ void write_record(util::BinaryWriter& writer, const TestRecord& r) {
   writer.f64(r.avg_response_ms);
   writer.f64(r.iops_per_watt);
   writer.f64(r.mbps_per_kilowatt);
+  writer.u8(r.power_valid ? 1 : 0);
 }
 
-TestRecord read_record(util::BinaryReader& reader) {
+TestRecord read_record(util::BinaryReader& reader, std::uint16_t version) {
   TestRecord r;
   r.test_id = reader.u64();
   r.timestamp = reader.str();
@@ -54,6 +57,7 @@ TestRecord read_record(util::BinaryReader& reader) {
   r.avg_response_ms = reader.f64();
   r.iops_per_watt = reader.f64();
   r.mbps_per_kilowatt = reader.f64();
+  if (version >= 2) r.power_valid = reader.u8() != 0;
   return r;
 }
 }  // namespace
@@ -96,13 +100,14 @@ Database Database::open(const std::string& path) {
   if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
     throw std::runtime_error("Database: bad magic in " + path);
   }
-  if (reader.u16() != kVersion) {
+  const std::uint16_t version = reader.u16();
+  if (version == 0 || version > kVersion) {
     throw std::runtime_error("Database: unsupported version in " + path);
   }
   const std::uint64_t count = reader.u64();
   database.records_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    database.records_.push_back(read_record(reader));
+    database.records_.push_back(read_record(reader, version));
     database.next_id_ =
         std::max(database.next_id_, database.records_.back().test_id + 1);
   }
@@ -171,7 +176,8 @@ void Database::export_csv(const std::string& path) const {
   csv.write_row({"test_id", "timestamp", "device", "trace", "request_size",
                  "random_ratio", "read_ratio", "load_proportion", "avg_amps",
                  "avg_volts", "avg_watts", "joules", "iops", "mbps",
-                 "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt"});
+                 "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt",
+                 "power_valid"});
   for (const auto& r : records_) {
     csv.row()
         .add(r.test_id)
@@ -191,6 +197,7 @@ void Database::export_csv(const std::string& path) const {
         .add(r.avg_response_ms, 3)
         .add(r.iops_per_watt, 4)
         .add(r.mbps_per_kilowatt, 3)
+        .add(static_cast<std::uint64_t>(r.power_valid ? 1 : 0))
         .done();
   }
 }

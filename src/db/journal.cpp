@@ -17,12 +17,18 @@ const std::vector<std::string>& header_row() {
       "random_ratio",    "read_ratio", "load_proportion",
       "avg_amps",        "avg_volts",  "avg_watts",
       "joules",          "iops",       "mbps",
-      "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt"};
+      "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt",
+      "power_valid"};
   return kHeader;
 }
 
 bool parse_row(const std::vector<std::string>& fields, TestRecord& out) {
-  if (fields.size() != header_row().size()) return false;
+  // Rows written before the power_valid column existed are one field
+  // short; accept them with the flag defaulting to true.
+  if (fields.size() != header_row().size() &&
+      fields.size() != header_row().size() - 1) {
+    return false;
+  }
   try {
     out.test_id = std::stoull(fields[0]);
     out.timestamp = fields[1];
@@ -41,6 +47,7 @@ bool parse_row(const std::vector<std::string>& fields, TestRecord& out) {
     out.avg_response_ms = std::stod(fields[14]);
     out.iops_per_watt = std::stod(fields[15]);
     out.mbps_per_kilowatt = std::stod(fields[16]);
+    out.power_valid = fields.size() < 18 || std::stoull(fields[17]) != 0;
   } catch (const std::exception&) {
     return false;
   }
@@ -98,6 +105,7 @@ void CampaignJournal::append(const TestRecord& r) {
       .add(r.avg_response_ms, 3)
       .add(r.iops_per_watt, 4)
       .add(r.mbps_per_kilowatt, 3)
+      .add(static_cast<std::uint64_t>(r.power_valid ? 1 : 0))
       .done();
   out_.flush();
   if (!out_) {

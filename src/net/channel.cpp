@@ -35,8 +35,20 @@ bool Endpoint::peer_open() const {
   return is_a_ ? state_->b_open : state_->a_open;
 }
 
+bool Endpoint::peer_closed() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return !peer_open();
+}
+
 bool Endpoint::send(Frame frame) {
   if (!state_) return false;
+  if (frame.size() > kMaxFrameBytes) {
+    static auto& oversized =
+        obs::Registry::global().counter("net.frames_oversized");
+    oversized.increment();
+    return false;
+  }
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (!peer_open()) return false;

@@ -18,6 +18,12 @@ namespace tracer::net {
 
 using Frame = std::vector<std::uint8_t>;
 
+/// Upper bound on one frame's size, enforced by Endpoint::send (refused,
+/// counted on "net.frames_oversized") and by Message decoding (rejected as
+/// malformed). A length-prefixed TCP framing layer needs the same cap or a
+/// corrupted length header makes the receiver allocate gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
 class Endpoint;
 
 /// Create a connected endpoint pair (client side, server side).
@@ -29,7 +35,8 @@ class Endpoint {
 
   bool connected() const { return state_ != nullptr; }
 
-  /// Queue a frame to the peer. Returns false if the peer hung up.
+  /// Queue a frame to the peer. Returns false if the peer hung up or the
+  /// frame exceeds kMaxFrameBytes.
   bool send(Frame frame);
 
   /// Non-blocking receive.
@@ -41,6 +48,10 @@ class Endpoint {
 
   /// Signal hang-up to the peer and detach.
   void close();
+
+  /// True when the peer hung up (or this endpoint was never connected /
+  /// already closed). Queued frames may still be readable via poll().
+  bool peer_closed() const;
 
   ~Endpoint();
   Endpoint(Endpoint&& other) noexcept;

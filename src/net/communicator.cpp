@@ -1,20 +1,101 @@
 #include "net/communicator.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "obs/registry.h"
 
 namespace tracer::net {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_after(Seconds timeout) {
+  return Clock::now() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(std::max(timeout, 0.0)));
+}
+
+Seconds seconds_until(Clock::time_point t) {
+  return std::chrono::duration<double>(t - Clock::now()).count();
+}
+
+}  // namespace
+
+const Message* ReplyCache::find(std::uint32_t request_id) const {
+  if (request_id == 0) return nullptr;
+  for (const auto& [id, reply] : entries_) {
+    if (id == request_id) return &reply;
+  }
+  return nullptr;
+}
+
+void ReplyCache::insert(std::uint32_t request_id, Message reply) {
+  if (request_id == 0 || capacity_ == 0) return;
+  if (const Message* existing = find(request_id); existing != nullptr) return;
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.emplace_back(request_id, std::move(reply));
+}
+
 std::uint32_t Communicator::send(Message message) {
   if (message.sequence == 0) message.sequence = next_sequence_++;
   const std::uint32_t sequence = message.sequence;
-  endpoint_.send(message.serialize());
+  transport_->send(message.serialize());
   return sequence;
 }
 
 void Communicator::send_oob(const Message& message) {
-  endpoint_.send(message.serialize());
+  transport_->send(message.serialize());
+}
+
+std::optional<Message> Communicator::decode_inbound(const Frame& frame) {
+  static auto& rejected =
+      obs::Registry::global().counter("net.frames_rejected");
+  static auto& heartbeats =
+      obs::Registry::global().counter("net.heartbeat.received");
+  static auto& dup_replies =
+      obs::Registry::global().counter("net.rpc.dup_replies_dropped");
+  auto message = Message::try_deserialize(frame);
+  if (!message) {
+    rejected.increment();
+    return std::nullopt;
+  }
+  last_inbound_ = Clock::now();
+  if (message->type == MessageType::kHeartbeat) {
+    heartbeats.increment();
+    return std::nullopt;
+  }
+  if (message->request_id != 0 && is_completed(message->request_id)) {
+    // A duplicated or retransmit-crossed reply for a call that already
+    // returned: delivering it again would hand a stale result to the next
+    // request. Drop it here, centrally.
+    dup_replies.increment();
+    return std::nullopt;
+  }
+  return message;
+}
+
+void Communicator::remember_completed(std::uint32_t request_id) {
+  constexpr std::size_t kCompletedWindow = 64;
+  if (request_id == 0) return;
+  if (completed_ids_.size() >= kCompletedWindow) completed_ids_.pop_front();
+  completed_ids_.push_back(request_id);
+}
+
+bool Communicator::is_completed(std::uint32_t request_id) const {
+  return std::find(completed_ids_.begin(), completed_ids_.end(), request_id) !=
+         completed_ids_.end();
+}
+
+void Communicator::note_reconnect() {
+  last_inbound_ = Clock::now();
+  obs::Registry::global().counter("net.rpc.reconnects").increment();
+}
+
+Seconds Communicator::since_last_inbound() const {
+  return std::chrono::duration<double>(Clock::now() - last_inbound_).count();
 }
 
 std::optional<Message> Communicator::poll() {
@@ -23,9 +104,12 @@ std::optional<Message> Communicator::poll() {
     stash_.pop_front();
     return message;
   }
-  auto frame = endpoint_.poll();
-  if (!frame) return std::nullopt;
-  return Message::deserialize(*frame);
+  // Loop: a corrupt frame or heartbeat must not mask a deliverable one
+  // sitting behind it in the queue.
+  while (auto frame = transport_->poll()) {
+    if (auto message = decode_inbound(*frame)) return message;
+  }
+  return std::nullopt;
 }
 
 std::optional<Message> Communicator::recv(Seconds timeout) {
@@ -34,9 +118,13 @@ std::optional<Message> Communicator::recv(Seconds timeout) {
     stash_.pop_front();
     return message;
   }
-  auto frame = endpoint_.recv(timeout);
-  if (!frame) return std::nullopt;
-  return Message::deserialize(*frame);
+  const auto deadline = deadline_after(timeout);
+  do {
+    auto frame = transport_->recv(std::max(seconds_until(deadline), 0.0));
+    if (!frame) return std::nullopt;  // timeout or hang-up
+    if (auto message = decode_inbound(*frame)) return message;
+  } while (Clock::now() < deadline);
+  return std::nullopt;
 }
 
 void Communicator::stash_push(Message message) {
@@ -59,29 +147,124 @@ void Communicator::stash_push(Message message) {
 std::optional<Message> Communicator::request(Message message, Seconds timeout) {
   message.sequence = next_sequence_++;
   const std::uint32_t sequence = message.sequence;
-  endpoint_.send(message.serialize());
+  transport_->send(message.serialize());
 
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::duration<double>(timeout));
-  while (std::chrono::steady_clock::now() < deadline) {
-    const Seconds remaining =
-        std::chrono::duration<double>(deadline -
-                                      std::chrono::steady_clock::now())
-            .count();
-    auto frame = endpoint_.recv(std::max(remaining, 0.0));
+  const auto deadline = deadline_after(timeout);
+  while (Clock::now() < deadline) {
+    auto frame = transport_->recv(std::max(seconds_until(deadline), 0.0));
     if (!frame) break;
-    Message reply = Message::deserialize(*frame);
-    if (reply.sequence == sequence) return reply;
-    stash_push(std::move(reply));
+    auto reply = decode_inbound(*frame);
+    if (!reply) continue;
+    if (reply->sequence == sequence) return reply;
+    stash_push(*std::move(reply));
+  }
+  return std::nullopt;
+}
+
+void Communicator::maybe_heartbeat(Clock::time_point now) {
+  if (heartbeat_interval_ <= 0.0) return;
+  if (last_heartbeat_ != Clock::time_point{} &&
+      std::chrono::duration<double>(now - last_heartbeat_).count() <
+          heartbeat_interval_) {
+    return;
+  }
+  static auto& sent = obs::Registry::global().counter("net.heartbeat.sent");
+  transport_->send(make_heartbeat(heartbeat_ticks_++).serialize());
+  sent.increment();
+  last_heartbeat_ = now;
+}
+
+std::optional<Message> Communicator::wait_reply(std::uint32_t request_id,
+                                                Seconds timeout) {
+  static auto& missed =
+      obs::Registry::global().counter("net.heartbeat.missed");
+  const auto start = Clock::now();
+  const auto deadline = deadline_after(timeout);
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) return std::nullopt;
+    // Liveness: silence is measured from the later of attempt start and
+    // the last inbound frame, so an idle period before the call does not
+    // count against the peer.
+    const auto alive_since = std::max(start, last_inbound_);
+    if (liveness_timeout_ > 0.0) {
+      if (std::chrono::duration<double>(now - alive_since).count() >=
+          liveness_timeout_) {
+        missed.increment();
+        return std::nullopt;
+      }
+    }
+    if (peer_closed()) {
+      // Hang-up: drain whatever is still queued, then fail the attempt so
+      // the caller's reconnect hook can re-pair the transport.
+      while (auto frame = transport_->poll()) {
+        auto reply = decode_inbound(*frame);
+        if (!reply) continue;
+        if (reply->request_id == request_id) return reply;
+        stash_push(*std::move(reply));
+      }
+      return std::nullopt;
+    }
+    maybe_heartbeat(now);
+    // Wake early for whichever comes first: the attempt deadline, the
+    // liveness deadline, or the next heartbeat send.
+    auto wake = deadline;
+    if (liveness_timeout_ > 0.0) {
+      wake = std::min(wake, alive_since + std::chrono::duration_cast<
+                                              Clock::duration>(
+                                              std::chrono::duration<double>(
+                                                  liveness_timeout_)));
+    }
+    if (heartbeat_interval_ > 0.0) {
+      wake = std::min(
+          wake, last_heartbeat_ +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(heartbeat_interval_)));
+    }
+    auto frame = transport_->recv(std::max(seconds_until(wake), 0.0));
+    if (!frame) continue;
+    auto reply = decode_inbound(*frame);
+    if (!reply) continue;
+    if (reply->request_id == request_id) return reply;
+    stash_push(*std::move(reply));
+  }
+}
+
+std::optional<Message> Communicator::call(Message message,
+                                          const CallOptions& options) {
+  static auto& retries = obs::Registry::global().counter("net.rpc.retries");
+  if (message.request_id == 0) message.request_id = next_request_id_++;
+  const std::uint32_t id = message.request_id;
+  // Jitter stream seeded per request id: concurrent callers retrying the
+  // same peer decorrelate, while a given request's schedule is stable.
+  util::Backoff backoff(options.backoff, 0x5eedULL ^ id);
+  const int max_attempts = std::max(options.max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) retries.increment();
+    Message out = message;
+    out.sequence = next_sequence_++;
+    transport_->send(out.serialize());
+    if (auto reply = wait_reply(id, options.attempt_timeout)) {
+      remember_completed(id);
+      return reply;
+    }
+    if (options.on_attempt_failure && !options.on_attempt_failure(attempt + 1)) {
+      break;
+    }
+    if (attempt + 1 < max_attempts) {
+      const Seconds pause = backoff.delay(attempt);
+      if (pause > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(pause));
+      }
+    }
   }
   return std::nullopt;
 }
 
 void Communicator::reply(const Message& request, Message reply) {
   reply.sequence = request.sequence;
-  endpoint_.send(reply.serialize());
+  reply.request_id = request.request_id;
+  transport_->send(reply.serialize());
 }
 
 }  // namespace tracer::net

@@ -1,0 +1,221 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "net/message.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+
+namespace tracer::net {
+
+namespace {
+
+// Per-fault salts decorrelate the decisions drawn from one content hash:
+// whether a frame is dropped is independent of whether it would have been
+// corrupted. Arbitrary odd constants.
+constexpr std::uint64_t kDropSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kDuplicateSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kCorruptSalt = 0x94d049bb133111ebULL;
+constexpr std::uint64_t kDelaySalt = 0x2545f4914f6cdd1dULL;
+constexpr std::uint64_t kReorderSalt = 0xd6e8feb86659fd93ULL;
+constexpr std::uint64_t kCorruptPosSalt = 0xa0761d6478bd642fULL;
+
+/// Uniform [0, 1) draw that depends only on (hash, salt).
+double draw(std::uint64_t hash, std::uint64_t salt) {
+  util::SplitMix64 sm(hash ^ salt);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t draw_u64(std::uint64_t hash, std::uint64_t salt) {
+  util::SplitMix64 sm(hash ^ salt);
+  return sm.next();
+}
+
+obs::Counter& fault_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+
+}  // namespace
+
+FaultyEndpoint::FaultyEndpoint(Endpoint inner, FaultPlan plan)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      state_(std::make_unique<State>()) {}
+
+void FaultyEndpoint::flush_due(std::chrono::steady_clock::time_point now) {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  // A reorder hold with no follow-up frame must not wait forever; age it
+  // out on the same clock as delayed frames.
+  if (state_->held && state_->held->due <= now) {
+    inner_.send(std::move(state_->held->frame));
+    state_->held.reset();
+  }
+  while (!state_->delayed.empty() && state_->delayed.front().due <= now) {
+    inner_.send(std::move(state_->delayed.front().frame));
+    state_->delayed.pop_front();
+  }
+}
+
+std::optional<std::chrono::steady_clock::time_point> FaultyEndpoint::next_due()
+    const {
+  if (!state_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::optional<std::chrono::steady_clock::time_point> due;
+  if (state_->held) due = state_->held->due;
+  if (!state_->delayed.empty()) {
+    const auto front = state_->delayed.front().due;
+    if (!due || front < *due) due = front;
+  }
+  return due;
+}
+
+void FaultyEndpoint::pump() { flush_due(std::chrono::steady_clock::now()); }
+
+bool FaultyEndpoint::send(Frame frame) {
+  if (!state_) return false;
+  const auto now = std::chrono::steady_clock::now();
+  flush_due(now);
+
+  static auto& dropped = fault_counter("net.fault.dropped");
+  static auto& duplicated = fault_counter("net.fault.duplicated");
+  static auto& corrupted = fault_counter("net.fault.corrupted");
+  static auto& delayed = fault_counter("net.fault.delayed");
+  static auto& reordered = fault_counter("net.fault.reordered");
+  static auto& stalled = fault_counter("net.fault.stalled");
+  static auto& disconnects = fault_counter("net.fault.disconnects");
+
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  if (!inner_.connected()) return false;
+  const std::uint64_t n = ++state_->stats.sent;
+
+  if (plan_.disconnect_at != 0 && n == plan_.disconnect_at) {
+    state_->stats.disconnected = true;
+    state_->held.reset();
+    state_->delayed.clear();  // in-flight frames die with the connection
+    disconnects.increment();
+    lock.unlock();
+    inner_.close();
+    return false;
+  }
+  if (plan_.stall_after != 0 && n > plan_.stall_after) {
+    ++state_->stats.stalled;
+    stalled.increment();
+    return true;  // half-open: the sender believes the frame went out
+  }
+
+  const std::uint64_t h =
+      fnv1a(frame.data(), frame.size()) ^ (plan_.seed * 0x9e3779b97f4a7c15ULL);
+  if (draw(h, kDropSalt) < plan_.drop_rate) {
+    ++state_->stats.dropped;
+    dropped.increment();
+    return true;
+  }
+  if (!frame.empty() && draw(h, kCorruptSalt) < plan_.corrupt_rate) {
+    const std::uint64_t bit = draw_u64(h, kCorruptPosSalt) % (frame.size() * 8);
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++state_->stats.corrupted;
+    corrupted.increment();
+  }
+  const bool duplicate = draw(h, kDuplicateSalt) < plan_.duplicate_rate;
+  if (duplicate) {
+    ++state_->stats.duplicated;
+    duplicated.increment();
+  }
+
+  if (draw(h, kDelaySalt) < plan_.delay_rate) {
+    ++state_->stats.delayed;
+    delayed.increment();
+    const auto due =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(plan_.delay));
+    state_->delayed.push_back({frame, due});
+    if (duplicate) state_->delayed.push_back({std::move(frame), due});
+    return true;
+  }
+
+  if (!state_->held && draw(h, kReorderSalt) < plan_.reorder_rate) {
+    // Hold this frame; the next direct send overtakes it.
+    ++state_->stats.reordered;
+    reordered.increment();
+    const auto due =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(std::max(plan_.delay, 0.001)));
+    if (duplicate) inner_.send(frame);  // the copy goes out in order
+    state_->held = Pending{std::move(frame), due};
+    return true;
+  }
+
+  bool ok;
+  if (duplicate) {
+    ok = inner_.send(frame);
+    ok = inner_.send(std::move(frame)) && ok;
+  } else {
+    ok = inner_.send(std::move(frame));
+  }
+  // Release a reorder hold right after the frame that overtook it.
+  if (state_->held) {
+    inner_.send(std::move(state_->held->frame));
+    state_->held.reset();
+  }
+  return ok;
+}
+
+std::optional<Frame> FaultyEndpoint::poll() {
+  if (!state_) return std::nullopt;
+  pump();
+  return inner_.poll();
+}
+
+std::optional<Frame> FaultyEndpoint::recv(Seconds timeout) {
+  if (!state_) return std::nullopt;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(timeout, 0.0)));
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    flush_due(now);
+    // Wake at the next pending-outbound deadline so our own delayed request
+    // still reaches the peer while we block for its reply.
+    auto wake = deadline;
+    if (const auto due = next_due(); due && *due < wake) wake = *due;
+    const Seconds slice =
+        std::chrono::duration<double>(wake - now).count();
+    if (auto frame = inner_.recv(std::max(slice, 0.0))) return frame;
+    // A dead link can never produce another frame: once the queue is
+    // drained, waiting out the deadline would just spin (a closed inner
+    // recv returns immediately). Mirror Endpoint::recv's prompt hangup
+    // return so servers notice a disconnect right away.
+    if (!inner_.connected() || inner_.peer_closed()) return inner_.poll();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      flush_due(std::chrono::steady_clock::now());
+      return inner_.poll();
+    }
+  }
+}
+
+void FaultyEndpoint::close() {
+  if (state_) {
+    // Frames still held for delay/reorder die with the connection.
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->held.reset();
+    state_->delayed.clear();
+  }
+  inner_.close();
+}
+
+FaultStats FaultyEndpoint::stats() const {
+  if (!state_) return FaultStats{};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->stats;
+}
+
+std::pair<FaultyEndpoint, FaultyEndpoint> make_faulty_channel(
+    const FaultPlan& a_to_b, const FaultPlan& b_to_a) {
+  auto [a, b] = make_channel();
+  return {FaultyEndpoint(std::move(a), a_to_b),
+          FaultyEndpoint(std::move(b), b_to_a)};
+}
+
+}  // namespace tracer::net

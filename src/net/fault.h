@@ -1,0 +1,121 @@
+// Deterministic fault injection for the control plane. TRACER's testbed ran
+// its three hosts over real TCP links (§III, Fig 1/3); multi-hour campaigns
+// on real links see drops, delays, duplicates, bit errors, and the
+// occasional hard disconnect. FaultyEndpoint wraps a net::Endpoint with a
+// seeded FaultPlan so every one of those failures can be rehearsed in-process
+// — the soak test drives a full distributed campaign through lossy channels
+// and asserts not one record is lost or duplicated (docs/RESILIENCE.md).
+//
+// Determinism: every per-frame fault decision is a pure function of the
+// frame's bytes and the plan seed (FNV-1a content hash expanded through
+// SplitMix64), never of arrival order or wall-clock. Two runs that send the
+// same frames get the same drops, regardless of thread interleaving; a
+// retransmit carries a fresh transport sequence, so its bytes differ and it
+// gets an independent decision — exactly how a real lossy link behaves.
+// The two exceptions are frame-count triggers (stall_after, disconnect_at),
+// which are deterministic by count.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "net/channel.h"
+#include "util/types.h"
+
+namespace tracer::net {
+
+/// What goes wrong on ONE direction of a channel (the wrapped endpoint's
+/// sends). Rates are independent per-frame probabilities in [0, 1].
+struct FaultPlan {
+  double drop_rate = 0.0;       ///< frame silently lost
+  double duplicate_rate = 0.0;  ///< frame delivered twice, back to back
+  double corrupt_rate = 0.0;    ///< one bit flipped at a seed-chosen position
+  double delay_rate = 0.0;      ///< frame held for `delay` before delivery
+  Seconds delay = 0.005;        ///< hold time for delayed frames
+  double reorder_rate = 0.0;    ///< frame swapped with the next one sent
+  /// After this many sends, every further frame is swallowed while send()
+  /// still reports success — a one-way stall (half-open link). 0 = never.
+  std::uint64_t stall_after = 0;
+  /// Hard-close the underlying endpoint when send number N is attempted
+  /// (that frame is lost; the peer sees hang-up). 0 = never. Counted by
+  /// send order, so it is deterministic even when frame contents are not.
+  std::uint64_t disconnect_at = 0;
+  std::uint64_t seed = 1;
+};
+
+/// What actually happened, for assertions and reports.
+struct FaultStats {
+  std::uint64_t sent = 0;  ///< send() calls that reached the fault stage
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t stalled = 0;
+  bool disconnected = false;  ///< disconnect_at fired
+};
+
+/// Drop-in Endpoint replacement that injects the plan's faults on the send
+/// side. Receive-side behavior is the clean Endpoint's (faults on inbound
+/// frames belong to the peer's plan). Move-only, like Endpoint.
+class FaultyEndpoint {
+ public:
+  FaultyEndpoint() = default;  ///< inert, like a default Endpoint
+  FaultyEndpoint(Endpoint inner, FaultPlan plan);
+
+  bool connected() const { return inner_.connected(); }
+
+  /// Queue a frame through the fault plan. Returns false only when the
+  /// link is down (dropped/stalled frames still report success — the
+  /// sender cannot tell, which is the point).
+  bool send(Frame frame);
+
+  /// Non-blocking receive; releases any of our due delayed frames first.
+  std::optional<Frame> poll();
+
+  /// Blocking receive; wakes early to release due delayed frames so a
+  /// delayed request cannot deadlock against its own reply.
+  std::optional<Frame> recv(Seconds timeout);
+
+  void close();
+  bool peer_closed() const { return inner_.peer_closed(); }
+
+  /// Release every held/delayed frame that is due (delayed frames whose
+  /// deadline passed; a reorder hold older than the plan delay). Called
+  /// implicitly by send/poll/recv; exposed for tests.
+  void pump();
+
+  FaultStats stats() const;
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Pending {
+    Frame frame;
+    std::chrono::steady_clock::time_point due;
+  };
+  struct State {
+    std::mutex mutex;
+    FaultStats stats;
+    std::optional<Pending> held;  ///< reorder slot
+    std::deque<Pending> delayed;
+  };
+
+  void flush_due(std::chrono::steady_clock::time_point now);
+  /// Earliest pending deadline, if any frame is waiting.
+  std::optional<std::chrono::steady_clock::time_point> next_due() const;
+
+  Endpoint inner_;
+  FaultPlan plan_;
+  std::unique_ptr<State> state_;
+};
+
+/// Connected endpoint pair with independent per-direction plans: `a_to_b`
+/// faults frames the first endpoint sends, `b_to_a` the second's.
+std::pair<FaultyEndpoint, FaultyEndpoint> make_faulty_channel(
+    const FaultPlan& a_to_b, const FaultPlan& b_to_a);
+
+}  // namespace tracer::net

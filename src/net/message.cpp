@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "net/channel.h"
 #include "util/binary_io.h"
 #include "util/string_util.h"
 
@@ -12,6 +13,7 @@ const char* to_string(MessageType type) {
   switch (type) {
     case MessageType::kAck: return "ACK";
     case MessageType::kError: return "ERROR";
+    case MessageType::kHeartbeat: return "HEARTBEAT";
     case MessageType::kConfigureTest: return "CONFIGURE_TEST";
     case MessageType::kStartTest: return "START_TEST";
     case MessageType::kStopTest: return "STOP_TEST";
@@ -59,55 +61,100 @@ std::optional<std::uint64_t> Message::get_u64(const std::string& key) const {
   return out;
 }
 
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::vector<std::uint8_t> Message::serialize() const {
   std::ostringstream buffer;
   util::BinaryWriter writer(buffer);
   writer.u16(static_cast<std::uint16_t>(type));
   writer.u32(sequence);
+  writer.u32(request_id);
   writer.u32(static_cast<std::uint32_t>(fields.size()));
   for (const auto& [key, value] : fields) {
     writer.str(key);
     writer.str(value);
   }
   const std::string data = buffer.str();
-  return {data.begin(), data.end()};
+  std::vector<std::uint8_t> frame(data.begin(), data.end());
+  const std::uint64_t checksum = fnv1a(frame.data(), frame.size());
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(checksum >> (8 * i)));
+  }
+  return frame;
+}
+
+std::optional<Message> Message::try_deserialize(
+    const std::vector<std::uint8_t>& frame) {
+  // Header (type+sequence+request_id+count = 14) plus the trailing
+  // checksum: anything shorter cannot be a frame.
+  constexpr std::size_t kMinFrame = 14 + 8;
+  if (frame.size() < kMinFrame || frame.size() > kMaxFrameBytes) {
+    return std::nullopt;
+  }
+  const std::size_t body = frame.size() - 8;
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(frame[body + i]) << (8 * i);
+  }
+  if (fnv1a(frame.data(), body) != stored) return std::nullopt;
+
+  std::istringstream buffer(
+      std::string(frame.begin(), frame.begin() + static_cast<long>(body)));
+  util::BinaryReader reader(buffer);
+  Message message;
+  try {
+    const std::uint16_t raw_type = reader.u16();
+    switch (static_cast<MessageType>(raw_type)) {
+      case MessageType::kAck:
+      case MessageType::kError:
+      case MessageType::kHeartbeat:
+      case MessageType::kConfigureTest:
+      case MessageType::kStartTest:
+      case MessageType::kStopTest:
+      case MessageType::kPerfResult:
+      case MessageType::kProgress:
+      case MessageType::kPowerInit:
+      case MessageType::kPowerStart:
+      case MessageType::kPowerStop:
+      case MessageType::kPowerResult:
+        message.type = static_cast<MessageType>(raw_type);
+        break;
+      default:
+        return std::nullopt;
+    }
+    message.sequence = reader.u32();
+    message.request_id = reader.u32();
+    const std::uint32_t count = reader.u32();
+    if (count > kMaxMessageFields) return std::nullopt;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::string key = reader.str(1 << 16);
+      std::string value = reader.str(1 << 16);
+      // A key appearing twice means a forged or mangled frame, not a
+      // preference for either value: reject the whole thing.
+      if (!message.fields.emplace(std::move(key), std::move(value)).second) {
+        return std::nullopt;
+      }
+    }
+    if (!reader.at_eof()) return std::nullopt;  // trailing garbage
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated body
+  }
+  return message;
 }
 
 Message Message::deserialize(const std::vector<std::uint8_t>& frame) {
-  std::istringstream buffer(
-      std::string(frame.begin(), frame.end()));
-  util::BinaryReader reader(buffer);
-  Message message;
-  const std::uint16_t raw_type = reader.u16();
-  switch (static_cast<MessageType>(raw_type)) {
-    case MessageType::kAck:
-    case MessageType::kError:
-    case MessageType::kConfigureTest:
-    case MessageType::kStartTest:
-    case MessageType::kStopTest:
-    case MessageType::kPerfResult:
-    case MessageType::kProgress:
-    case MessageType::kPowerInit:
-    case MessageType::kPowerStart:
-    case MessageType::kPowerStop:
-    case MessageType::kPowerResult:
-      message.type = static_cast<MessageType>(raw_type);
-      break;
-    default:
-      throw std::runtime_error("Message: unknown type " +
-                               std::to_string(raw_type));
+  auto message = try_deserialize(frame);
+  if (!message) {
+    throw std::runtime_error("Message: malformed frame");
   }
-  message.sequence = reader.u32();
-  const std::uint32_t count = reader.u32();
-  if (count > 4096) {
-    throw std::runtime_error("Message: implausible field count");
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::string key = reader.str(1 << 16);
-    std::string value = reader.str(1 << 16);
-    message.fields.emplace(std::move(key), std::move(value));
-  }
-  return message;
+  return *std::move(message);
 }
 
 Message make_ack(std::uint32_t sequence) {
@@ -122,6 +169,14 @@ Message make_error(std::uint32_t sequence, const std::string& reason) {
   message.type = MessageType::kError;
   message.sequence = sequence;
   message.set("reason", reason);
+  return message;
+}
+
+Message make_heartbeat(std::uint64_t tick) {
+  Message message;
+  message.type = MessageType::kHeartbeat;
+  message.sequence = 0;
+  message.set_u64("tick", tick);
   return message;
 }
 

@@ -18,6 +18,7 @@ namespace tracer::net {
 enum class MessageType : std::uint16_t {
   kAck = 0,
   kError = 1,
+  kHeartbeat = 2,  ///< keepalive; sequence 0, never a request or reply
   // Evaluation host -> workload generator
   kConfigureTest = 10,  ///< workload mode + load proportion
   kStartTest = 11,
@@ -35,9 +36,24 @@ enum class MessageType : std::uint16_t {
 
 const char* to_string(MessageType type);
 
+/// Decode refuses frames claiming more fields than this — a corrupted count
+/// must not drive a multi-gigabyte allocation loop.
+inline constexpr std::uint32_t kMaxMessageFields = 4096;
+
+/// Wire layout: type u16 | sequence u32 | request_id u32 | field count u32 |
+/// fields (length-prefixed key/value strings) | FNV-1a checksum u64 over
+/// everything before it. Minimum frame = 22 bytes. The checksum detects the
+/// bit corruption a lossy link (or net::FaultyEndpoint) introduces; each
+/// FNV-1a step is a bijection on the digest state, so any single-bit flip
+/// is caught.
 struct Message {
   MessageType type = MessageType::kAck;
-  std::uint32_t sequence = 0;  ///< request/reply correlation
+  std::uint32_t sequence = 0;  ///< transport correlation; fresh per frame
+  /// RPC identity, stable across retransmits of the same logical request
+  /// (0 = not an RPC: heartbeats, unsolicited streams, legacy callers).
+  /// Servers dedup on it and replay the cached reply instead of re-running
+  /// a non-idempotent command like START_TEST.
+  std::uint32_t request_id = 0;
   std::map<std::string, std::string> fields;
 
   /// Typed field helpers; get_* return nullopt when absent or malformed.
@@ -51,6 +67,12 @@ struct Message {
   std::vector<std::uint8_t> serialize() const;
   /// Throws std::runtime_error on malformed frames.
   static Message deserialize(const std::vector<std::uint8_t>& frame);
+  /// Non-throwing decode: nullopt on any malformed frame — truncation, an
+  /// unknown type, an oversized frame or field count, a duplicated key, or
+  /// a checksum mismatch. The receive path uses this so one corrupted
+  /// frame is dropped (and counted) instead of unwinding the service.
+  static std::optional<Message> try_deserialize(
+      const std::vector<std::uint8_t>& frame);
 
   friend bool operator==(const Message&, const Message&) = default;
 };
@@ -58,5 +80,14 @@ struct Message {
 /// Convenience constructors for the common replies.
 Message make_ack(std::uint32_t sequence);
 Message make_error(std::uint32_t sequence, const std::string& reason);
+/// Keepalive frame (sequence 0, request_id 0). `tick` makes successive
+/// heartbeats distinct on the wire.
+Message make_heartbeat(std::uint64_t tick);
+
+/// FNV-1a 64-bit over a byte range — the frame checksum and the content
+/// hash behind net::FaultyEndpoint's deterministic fault decisions. Each
+/// step is a bijection on the 64-bit state, so any single-bit change
+/// propagates to the digest.
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size);
 
 }  // namespace tracer::net

@@ -1,5 +1,9 @@
 #include "net/messenger.h"
 
+#include <chrono>
+
+#include "obs/registry.h"
+
 namespace tracer::net {
 
 Message Messenger::handle(const Message& command, Seconds now) {
@@ -43,6 +47,27 @@ Message Messenger::handle(const Message& command, Seconds now) {
       return make_error(command.sequence,
                         std::string("messenger cannot handle ") +
                             to_string(command.type));
+  }
+}
+
+void Messenger::serve(Communicator& comm, Seconds idle_timeout) {
+  static auto& dedup_hits =
+      obs::Registry::global().counter("net.rpc.dedup_hits");
+  const auto epoch = std::chrono::steady_clock::now();
+  while (true) {
+    auto command = comm.recv(idle_timeout);
+    if (!command) return;  // peer hung up or idle timeout
+    if (const Message* cached = replies_.find(command->request_id)) {
+      dedup_hits.increment();
+      comm.reply(*command, *cached);
+      continue;
+    }
+    const Seconds now = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - epoch)
+                            .count();
+    Message reply = handle(*command, now);
+    replies_.insert(command->request_id, reply);
+    comm.reply(*command, std::move(reply));
   }
 }
 

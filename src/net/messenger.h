@@ -7,6 +7,7 @@
 // power::PowerAnalyzer and reports POWER_RESULT (current/voltage/watts).
 #pragma once
 
+#include "net/communicator.h"
 #include "net/message.h"
 #include "power/power_analyzer.h"
 
@@ -20,12 +21,22 @@ class Messenger {
   /// `now` is the current test clock, needed by start/stop.
   Message handle(const Message& command, Seconds now);
 
+  /// Serve commands over `comm` until peer hang-up or `idle_timeout` of
+  /// silence. The test clock handed to handle() is wall-clock seconds
+  /// since this call. Retransmitted commands (same request_id) get their
+  /// cached reply re-sent ("net.rpc.dedup_hits") instead of re-running —
+  /// a retried POWER_STOP whose first reply was lost must return the
+  /// measured POWER_RESULT, not an "not running" error. The dedup window
+  /// outlives one serve() call, so retries across a reconnect still hit.
+  void serve(Communicator& comm, Seconds idle_timeout = 3600.0);
+
  private:
   Message power_result(std::uint32_t sequence) const;
 
   power::PowerAnalyzer& analyzer_;
   bool initialized_ = false;
   bool running_ = false;  ///< a measurement window is open (START..STOP)
+  ReplyCache replies_;
 };
 
 }  // namespace tracer::net

@@ -1,0 +1,57 @@
+// Exponential backoff with jitter — the retry pacing policy shared by the
+// campaign runner (re-running failed tests) and the net RPC layer
+// (re-transmitting lost requests). Deterministic given its seed, so retry
+// schedules replay bit-for-bit in tests.
+//
+// delay(attempt) = base * multiplier^attempt, capped at `cap`, then
+// jittered uniformly in [1 - jitter, 1 + jitter]. Jitter decorrelates a
+// fleet of clients hammering one recovering peer (the classic thundering
+// herd); attempt counts are 0-based.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tracer::util {
+
+class Backoff {
+ public:
+  struct Params {
+    Seconds base = 0.05;      ///< delay before the first retry
+    double multiplier = 2.0;  ///< growth factor per attempt
+    Seconds cap = 5.0;        ///< upper bound on the un-jittered delay
+    double jitter = 0.0;      ///< relative jitter in [0, 1); 0 = none
+  };
+
+  // A default *argument* of Params{} is ill-formed here (its member
+  // initializers are not usable until the enclosing class is complete), so
+  // the all-defaults case gets a delegating constructor instead.
+  Backoff() : Backoff(Params{}) {}
+  explicit Backoff(Params params, std::uint64_t seed = 1)
+      : params_(params), rng_(seed) {}
+
+  /// Delay before retry number `attempt` (0-based: the wait after the
+  /// first failure is delay(0)).
+  Seconds delay(int attempt) {
+    Seconds d = params_.base;
+    for (int i = 0; i < attempt && d < params_.cap; ++i) {
+      d *= params_.multiplier;
+    }
+    d = std::min(d, params_.cap);
+    if (params_.jitter > 0.0) {
+      d *= rng_.uniform(1.0 - params_.jitter, 1.0 + params_.jitter);
+    }
+    return std::max(d, 0.0);
+  }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace tracer::util

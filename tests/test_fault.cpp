@@ -1,0 +1,237 @@
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace tracer::net {
+namespace {
+
+Frame frame_of(const std::string& text) {
+  return Frame(text.begin(), text.end());
+}
+
+TEST(FaultyEndpoint, DefaultConstructedIsInert) {
+  FaultyEndpoint endpoint;
+  EXPECT_FALSE(endpoint.connected());
+  EXPECT_TRUE(endpoint.peer_closed());
+  EXPECT_FALSE(endpoint.send(frame_of("x")));
+  EXPECT_FALSE(endpoint.poll().has_value());
+  EXPECT_FALSE(endpoint.recv(0.0).has_value());
+  EXPECT_EQ(endpoint.stats().sent, 0u);
+}
+
+TEST(FaultyEndpoint, CleanPlanDeliversInOrder) {
+  auto [a, b] = make_faulty_channel(FaultPlan{}, FaultPlan{});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.send(frame_of("frame" + std::to_string(i))));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto got = b.poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, frame_of("frame" + std::to_string(i)));
+  }
+  EXPECT_FALSE(b.poll().has_value());
+  const FaultStats stats = a.stats();
+  EXPECT_EQ(stats.sent, 10u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.corrupted, 0u);
+}
+
+TEST(FaultyEndpoint, DropRateOneLosesEverythingSilently) {
+  FaultPlan lossy;
+  lossy.drop_rate = 1.0;
+  auto [a, b] = make_faulty_channel(lossy, FaultPlan{});
+  for (int i = 0; i < 5; ++i) {
+    // The sender cannot tell: send still reports success.
+    EXPECT_TRUE(a.send(frame_of("gone" + std::to_string(i))));
+  }
+  EXPECT_FALSE(b.poll().has_value());
+  EXPECT_EQ(a.stats().dropped, 5u);
+}
+
+TEST(FaultyEndpoint, DuplicateRateOneDeliversTwice) {
+  FaultPlan dupey;
+  dupey.duplicate_rate = 1.0;
+  auto [a, b] = make_faulty_channel(dupey, FaultPlan{});
+  ASSERT_TRUE(a.send(frame_of("twin")));
+  auto first = b.poll();
+  auto second = b.poll();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(*first, *second);
+  EXPECT_FALSE(b.poll().has_value());
+  EXPECT_EQ(a.stats().duplicated, 1u);
+}
+
+TEST(FaultyEndpoint, CorruptionFlipsExactlyOneBit) {
+  FaultPlan noisy;
+  noisy.corrupt_rate = 1.0;
+  auto [a, b] = make_faulty_channel(noisy, FaultPlan{});
+  const Frame original = frame_of("precious payload");
+  ASSERT_TRUE(a.send(original));
+  auto got = b.poll();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), original.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::uint8_t diff = (*got)[i] ^ original[i];
+    while (diff) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(a.stats().corrupted, 1u);
+}
+
+TEST(FaultyEndpoint, CorruptedMessageFrameFailsChecksum) {
+  FaultPlan noisy;
+  noisy.corrupt_rate = 1.0;
+  auto [a, b] = make_faulty_channel(noisy, FaultPlan{});
+  Message message;
+  message.type = MessageType::kStartTest;
+  message.sequence = 7;
+  message.set("key", "value");
+  ASSERT_TRUE(a.send(message.serialize()));
+  auto got = b.poll();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(Message::try_deserialize(*got).has_value());
+}
+
+TEST(FaultyEndpoint, DelayedFrameArrivesAfterHold) {
+  FaultPlan slow;
+  slow.delay_rate = 1.0;
+  slow.delay = 0.02;
+  auto [a, b] = make_faulty_channel(slow, FaultPlan{});
+  ASSERT_TRUE(a.send(frame_of("late")));
+  // Not delivered synchronously...
+  EXPECT_FALSE(b.poll().has_value());
+  // ...but a blocking recv spanning the hold gets it. The due frame sits
+  // on the *sender's* side, so the sender must pump it out.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  std::optional<Frame> got;
+  while (!got && std::chrono::steady_clock::now() < deadline) {
+    a.pump();
+    got = b.recv(0.005);
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, frame_of("late"));
+  EXPECT_EQ(a.stats().delayed, 1u);
+}
+
+TEST(FaultyEndpoint, ReorderSwapsWithNextFrame) {
+  FaultPlan jumbled;
+  jumbled.reorder_rate = 1.0;
+  auto [a, b] = make_faulty_channel(jumbled, FaultPlan{});
+  ASSERT_TRUE(a.send(frame_of("first")));
+  ASSERT_TRUE(a.send(frame_of("second")));
+  // "first" was held; "second" cannot be held too (one reorder slot), so it
+  // goes out directly and releases the hold right behind it.
+  auto one = b.poll();
+  auto two = b.poll();
+  ASSERT_TRUE(one && two);
+  EXPECT_EQ(*one, frame_of("second"));
+  EXPECT_EQ(*two, frame_of("first"));
+  EXPECT_EQ(a.stats().reordered, 1u);
+}
+
+TEST(FaultyEndpoint, StallSwallowsWhileReportingSuccess) {
+  FaultPlan halfopen;
+  halfopen.stall_after = 2;
+  auto [a, b] = make_faulty_channel(halfopen, FaultPlan{});
+  EXPECT_TRUE(a.send(frame_of("one")));
+  EXPECT_TRUE(a.send(frame_of("two")));
+  EXPECT_TRUE(a.send(frame_of("three")));  // stalled, but "succeeds"
+  EXPECT_TRUE(a.send(frame_of("four")));
+  EXPECT_TRUE(b.poll().has_value());
+  EXPECT_TRUE(b.poll().has_value());
+  EXPECT_FALSE(b.poll().has_value());
+  EXPECT_EQ(a.stats().stalled, 2u);
+  // The link never actually closed.
+  EXPECT_FALSE(a.peer_closed());
+}
+
+TEST(FaultyEndpoint, DisconnectAtClosesHard) {
+  FaultPlan doomed;
+  doomed.disconnect_at = 3;
+  auto [a, b] = make_faulty_channel(doomed, FaultPlan{});
+  EXPECT_TRUE(a.send(frame_of("one")));
+  EXPECT_TRUE(a.send(frame_of("two")));
+  EXPECT_FALSE(a.send(frame_of("three")));  // the fatal send
+  EXPECT_FALSE(a.send(frame_of("four")));   // link already down
+  EXPECT_TRUE(a.stats().disconnected);
+  // The peer drains what made it through, then sees the hang-up.
+  EXPECT_TRUE(b.poll().has_value());
+  EXPECT_TRUE(b.poll().has_value());
+  EXPECT_FALSE(b.poll().has_value());
+  EXPECT_TRUE(b.peer_closed());
+}
+
+TEST(FaultyEndpoint, FaultDecisionsAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.drop_rate = 0.3;
+    plan.duplicate_rate = 0.2;
+    plan.corrupt_rate = 0.1;
+    plan.seed = seed;
+    auto [a, b] = make_faulty_channel(plan, FaultPlan{});
+    for (int i = 0; i < 200; ++i) {
+      a.send(frame_of("payload number " + std::to_string(i)));
+    }
+    std::vector<Frame> delivered;
+    while (auto f = b.poll()) delivered.push_back(std::move(*f));
+    return std::make_pair(a.stats(), delivered);
+  };
+  const auto [stats1, frames1] = run(42);
+  const auto [stats2, frames2] = run(42);
+  EXPECT_EQ(stats1.dropped, stats2.dropped);
+  EXPECT_EQ(stats1.duplicated, stats2.duplicated);
+  EXPECT_EQ(stats1.corrupted, stats2.corrupted);
+  EXPECT_EQ(frames1, frames2);
+  EXPECT_GT(stats1.dropped, 0u);
+  EXPECT_GT(stats1.duplicated, 0u);
+
+  // A different seed makes different decisions on the same traffic.
+  const auto [stats3, frames3] = run(1234567);
+  EXPECT_NE(frames1, frames3);
+}
+
+TEST(FaultyEndpoint, RetransmitGetsIndependentDecision) {
+  // A dropped frame's retransmit must not be doomed to the same fate just
+  // because it carries the same command: a fresh sequence number changes
+  // the bytes, so the content hash (and the decision) changes.
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  plan.seed = 9;
+  auto [a, b] = make_faulty_channel(plan, FaultPlan{});
+  Message command;
+  command.type = MessageType::kStartTest;
+  int delivered = 0;
+  for (std::uint32_t attempt = 1; attempt <= 64; ++attempt) {
+    command.sequence = attempt;  // what a call() retry does
+    a.send(command.serialize());
+    if (b.poll()) ++delivered;
+  }
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, 64);
+}
+
+TEST(FaultyEndpoint, CloseDiscardsPendingFrames) {
+  FaultPlan slow;
+  slow.delay_rate = 1.0;
+  slow.delay = 10.0;  // far future
+  auto [a, b] = make_faulty_channel(slow, FaultPlan{});
+  ASSERT_TRUE(a.send(frame_of("never")));
+  a.close();
+  EXPECT_FALSE(b.poll().has_value());
+  EXPECT_TRUE(b.peer_closed());
+}
+
+}  // namespace
+}  // namespace tracer::net

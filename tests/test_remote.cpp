@@ -45,6 +45,75 @@ TEST_F(RemoteTest, ModeDecodingRejectsIncompleteMessages) {
   EXPECT_FALSE(decode_mode(message).has_value());
 }
 
+TEST_F(RemoteTest, ModeDecodingRejectsExtraFields) {
+  // Strict decode: an unexpected field means the frame came from a
+  // different protocol revision (or got mangled); trusting the remaining
+  // fields would mask it.
+  net::Message message = encode_mode(mode(0.3));
+  message.set_double("surprise", 1.0);
+  EXPECT_FALSE(decode_mode(message).has_value());
+}
+
+db::TestRecord sample_record() {
+  db::TestRecord record;
+  record.device = "raid5-hdd6";
+  record.trace_name = "trace";
+  record.request_size = 4096;
+  record.random_ratio = 0.5;
+  record.read_ratio = 0.6;
+  record.load_proportion = 0.4;
+  record.avg_amps = 1.5;
+  record.avg_volts = 12.0;
+  record.avg_watts = 81.25;
+  record.joules = 400.0;
+  record.iops = 432.1;
+  record.mbps = 1.77;
+  record.avg_response_ms = 3.5;
+  record.iops_per_watt = 5.32;
+  record.mbps_per_kilowatt = 21.8;
+  return record;
+}
+
+TEST_F(RemoteTest, RecordDecodingRejectsEveryMissingField) {
+  // The old decoder default-filled absent doubles with zero, turning a
+  // half-lost frame into a plausible record of an idle system. Now any
+  // missing field rejects the whole frame.
+  const net::Message complete = encode_record(sample_record());
+  ASSERT_TRUE(decode_record(complete).has_value());
+  for (const auto& [key, value] : complete.fields) {
+    net::Message mutilated = complete;
+    mutilated.fields.erase(key);
+    EXPECT_FALSE(decode_record(mutilated).has_value())
+        << "decoded despite missing field " << key;
+  }
+}
+
+TEST_F(RemoteTest, RecordDecodingRejectsExtraFields) {
+  net::Message message = encode_record(sample_record());
+  message.set("extra", "field");
+  EXPECT_FALSE(decode_record(message).has_value());
+}
+
+TEST_F(RemoteTest, RecordDecodingRejectsMistypedFields) {
+  net::Message message = encode_record(sample_record());
+  message.set("iops", "not a number");
+  EXPECT_FALSE(decode_record(message).has_value());
+  message = encode_record(sample_record());
+  message.set_u64("power_valid", 2);  // only 0/1 are meaningful
+  EXPECT_FALSE(decode_record(message).has_value());
+}
+
+TEST_F(RemoteTest, PowerValidFlagRoundTripsOverWire) {
+  db::TestRecord degraded = sample_record();
+  degraded.power_valid = false;
+  const auto decoded = decode_record(encode_record(degraded));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->power_valid);
+  const auto healthy = decode_record(encode_record(sample_record()));
+  ASSERT_TRUE(healthy.has_value());
+  EXPECT_TRUE(healthy->power_valid);
+}
+
 TEST_F(RemoteTest, RecordEncodingRoundTrips) {
   db::TestRecord record;
   record.device = "raid5-hdd6";
