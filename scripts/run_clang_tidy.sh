@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command local reproduction of the CI clang-tidy gate
+# (docs/STATIC_ANALYSIS.md). Needs clang-tidy and (ideally)
+# run-clang-tidy on PATH; CI installs them via apt.
+#
+#   scripts/run_clang_tidy.sh            # whole tree
+#   scripts/run_clang_tidy.sh src/core   # one subtree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tidy
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH (apt install clang-tidy)" >&2
+  exit 1
+fi
+
+# A dedicated compile database keeps tidy runs independent of the main
+# build tree's compiler/flags.
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+SCOPE="${1:-src}"
+mapfile -t FILES < <(find "${SCOPE}" -name '*.cpp' | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "error: no .cpp files under '${SCOPE}'" >&2
+  exit 1
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "${BUILD_DIR}" -quiet "${FILES[@]}"
+else
+  clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+fi
+echo "clang-tidy: clean (${#FILES[@]} files)"

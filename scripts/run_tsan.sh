@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# One-command local reproduction of the CI ThreadSanitizer job
+# (docs/STATIC_ANALYSIS.md): configure + build + full ctest under the
+# `tsan` preset. Any data race is a test failure (halt_on_error=1).
+#
+#   scripts/run_tsan.sh                       # full suite
+#   scripts/run_tsan.sh -R ConcurrencyStress  # extra args go to ctest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Newer kernels randomise mmap more aggressively than TSan's shadow
+# mapping tolerates; CI applies the same workaround.
+if [[ "$(sysctl -n vm.mmap_rnd_bits 2>/dev/null || echo 0)" -gt 28 ]]; then
+  echo "note: vm.mmap_rnd_bits > 28 can break TSan; if runs crash at" >&2
+  echo "      startup: sudo sysctl vm.mmap_rnd_bits=28" >&2
+fi
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan -j "$(nproc)" "$@"

@@ -63,7 +63,7 @@ std::string CampaignRunner::trace_name_for(
 
 void CampaignRunner::bump_progress(
     const std::function<void(CampaignProgress&)>& update) {
-  std::lock_guard<std::mutex> lock(progress_mutex_);
+  util::MutexLock lock(progress_mutex_);
   update(progress_);
   progress_.elapsed = since(started_);
   // ETA from the mean wall-clock cost of tests run in this process;
@@ -176,7 +176,7 @@ CampaignReport CampaignRunner::run(
   report.outcomes.assign(modes.size(), TestOutcome{});
   started_ = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(progress_mutex_);
+    util::MutexLock lock(progress_mutex_);
     progress_ = CampaignProgress{};
     progress_.total = modes.size();
   }
@@ -225,7 +225,7 @@ CampaignReport CampaignRunner::run(
   }
 
   {
-    std::lock_guard<std::mutex> lock(progress_mutex_);
+    util::MutexLock lock(progress_mutex_);
     report.retries = progress_.retries;
   }
   report.elapsed = since(started_);

@@ -24,7 +24,6 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +32,7 @@
 #include "obs/registry.h"
 #include "util/backoff.h"
 #include "util/cancel_token.h"
+#include "util/sync.h"
 
 namespace tracer::core {
 
@@ -163,9 +163,9 @@ class CampaignRunner {
   util::CancelToken cancel_;
   std::unique_ptr<db::CampaignJournal> journal_;
 
-  std::mutex progress_mutex_;
-  CampaignProgress progress_;
-  std::chrono::steady_clock::time_point started_;
+  util::Mutex progress_mutex_;  ///< serialises progress + on_progress calls
+  CampaignProgress progress_ TRACER_GUARDED_BY(progress_mutex_);
+  std::chrono::steady_clock::time_point started_;  ///< written before the sweep fans out
 };
 
 }  // namespace tracer::core

@@ -73,15 +73,17 @@ std::shared_ptr<const trace::Trace> EvaluationHost::peak_trace_shared(
   std::shared_future<SharedTrace> future;
   std::promise<SharedTrace> promise;
   bool builder = false;
+  std::uint64_t my_generation = 0;
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(cache_mutex_);
     auto it = peak_cache_.find(cache_key);
     if (it == peak_cache_.end()) {
       builder = true;
       future = promise.get_future().share();
-      peak_cache_.emplace(cache_key, future);
+      my_generation = ++cache_generation_;
+      peak_cache_.emplace(cache_key, PeakCacheEntry{my_generation, future});
     } else {
-      future = it->second;
+      future = it->second.future;
     }
   }
   {
@@ -102,10 +104,16 @@ std::shared_ptr<const trace::Trace> EvaluationHost::peak_trace_shared(
       promise.set_value(std::move(built));
     } catch (...) {
       // Evict first so a later call can retry; waiters holding this future
-      // still observe the exception.
+      // still observe the exception. Evict only OUR entry (generation
+      // match): clear_peak_cache + a successor build may have reused the
+      // key while we were failing, and their entry must survive us.
       {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        peak_cache_.erase(cache_key);
+        util::MutexLock lock(cache_mutex_);
+        auto it = peak_cache_.find(cache_key);
+        if (it != peak_cache_.end() &&
+            it->second.generation == my_generation) {
+          peak_cache_.erase(it);
+        }
       }
       promise.set_exception(std::current_exception());
     }
@@ -114,13 +122,28 @@ std::shared_ptr<const trace::Trace> EvaluationHost::peak_trace_shared(
 }
 
 std::size_t EvaluationHost::peak_cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(cache_mutex_);
   return peak_cache_.size();
 }
 
-void EvaluationHost::clear_peak_cache() {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  peak_cache_.clear();
+std::size_t EvaluationHost::clear_peak_cache() {
+  util::MutexLock lock(cache_mutex_);
+  std::size_t dropped = 0;
+  // Keep in-flight builds: evicting an unready future would let the next
+  // same-key caller start a SECOND build of the same trace concurrently
+  // with the first — two saturation runs writing one repository file.
+  // Ready entries (value or exception) are safe to drop.
+  for (auto it = peak_cache_.begin(); it != peak_cache_.end();) {
+    const bool ready = it->second.future.wait_for(std::chrono::seconds(0)) ==
+                       std::future_status::ready;
+    if (ready) {
+      it = peak_cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/sync.h"
+
 #include "core/metrics.h"
 #include "core/replay_engine.h"
 #include "db/database.h"
@@ -83,12 +85,17 @@ class EvaluationHost {
   /// misses). A 10-level sweep over one mode leaves this at 1.
   std::uint64_t peak_build_count() const { return peak_builds_.load(); }
 
-  /// Number of peak traces currently cached in memory.
+  /// Number of peak traces currently cached in memory (ready or building).
   std::size_t peak_cache_size() const;
 
   /// Drop cached peak traces (repository files are untouched). Traces
   /// still referenced by in-flight tests stay alive via shared ownership.
-  void clear_peak_cache();
+  /// Safe against concurrent peak_trace_shared() calls: entries whose build
+  /// is still in flight are kept, so late same-key requesters keep joining
+  /// the one running build instead of racing a second build against it
+  /// (two builders would write the same repository file concurrently).
+  /// Returns the number of entries actually dropped.
+  std::size_t clear_peak_cache();
 
   /// Run one test: filter the mode's peak trace to mode.load_proportion,
   /// replay on a fresh array instance, meter, record.
@@ -145,9 +152,17 @@ class EvaluationHost {
   PowerChannel* power_channel_ = nullptr;  ///< borrowed; may be null
   db::Database database_;
   using SharedTrace = std::shared_ptr<const trace::Trace>;
-  mutable std::mutex cache_mutex_;  ///< guards peak_cache_ (not the builds)
-  std::unordered_map<std::string, std::shared_future<SharedTrace>>
-      peak_cache_;
+  /// One cache slot per trace key. `generation` disambiguates entries that
+  /// reuse a key after clear_peak_cache(): a builder cleaning up its own
+  /// failed build must not evict a successor entry someone else installed.
+  struct PeakCacheEntry {
+    std::uint64_t generation = 0;
+    std::shared_future<SharedTrace> future;
+  };
+  mutable util::Mutex cache_mutex_;  ///< guards peak_cache_ (not the builds)
+  std::unordered_map<std::string, PeakCacheEntry> peak_cache_
+      TRACER_GUARDED_BY(cache_mutex_);
+  std::uint64_t cache_generation_ TRACER_GUARDED_BY(cache_mutex_) = 0;
   std::atomic<std::uint64_t> peak_builds_{0};
 };
 

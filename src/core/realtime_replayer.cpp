@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/registry.h"
@@ -27,8 +25,10 @@ SyntheticRealtimeTarget::SyntheticRealtimeTarget(
 
 SyntheticRealtimeTarget::~SyntheticRealtimeTarget() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    // Store under the mutex: a worker past its predicate check but not yet
+    // inside wait() holds the lock, so it cannot miss this notify.
+    util::MutexLock lock(mutex_);
+    stopping_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
   worker_.join();
@@ -39,7 +39,7 @@ void SyntheticRealtimeTarget::submit(const storage::IoRequest& request,
                                      std::function<void(Seconds)> done) {
   Job job{latency_model_(request), std::move(done)};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     jobs_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -49,8 +49,12 @@ void SyntheticRealtimeTarget::worker_loop() {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_.load(std::memory_order_relaxed) && jobs_.empty()) {
+        cv_.wait(lock);
+      }
+      // Stopping still drains queued jobs: their `done` callbacks write
+      // into a replay() stack frame that is waiting on them.
       if (jobs_.empty()) return;
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -94,10 +98,25 @@ RealtimeReport RealtimeReplayer::replay(const trace::TraceView& view,
   double max_skew = 0.0;
 
   for (std::size_t i = 0; i < view.bunch_count(); ++i) {
+    if (cancel_.cancelled()) {
+      report.stopped = true;
+      break;
+    }
     const Seconds scheduled = view.timestamp(i) / speed_;
-    const Seconds ahead = scheduled - since(start);
-    if (ahead > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+    // Sleep toward the bunch's deadline in <=10 ms slices so a cancel
+    // during a long inter-arrival gap takes effect promptly instead of
+    // after the gap. The final slice lands on the deadline, so timing
+    // skew for uncancelled replays is unchanged.
+    constexpr Seconds kCancelSlice = 10e-3;
+    for (Seconds ahead = scheduled - since(start); ahead > 0.0;
+         ahead = scheduled - since(start)) {
+      if (cancel_.cancelled()) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::min(ahead, kCancelSlice)));
+    }
+    if (cancel_.cancelled()) {
+      report.stopped = true;
+      break;
     }
     max_skew = std::max(max_skew, std::abs(since(start) - scheduled));
     for (const auto& pkg : view.packages(i)) {
@@ -168,6 +187,8 @@ RealtimeReport RealtimeReplayer::replay(const trace::TraceView& view,
     static auto& packages = reg.counter("realtime.packages");
     static auto& depth = reg.gauge("realtime.max_outstanding");
     static auto& skew = reg.gauge("realtime.max_skew_ms");
+    static auto& cancelled = reg.counter("realtime.cancelled");
+    if (report.stopped) cancelled.increment();
     runs.increment();
     bunches.add(view.bunch_count());
     packages.add(report.packages);

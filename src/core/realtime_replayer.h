@@ -13,18 +13,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "core/perf_monitor.h"
 #include "storage/io_request.h"
 #include "trace/trace.h"
 #include "trace/trace_view.h"
+#include "util/cancel_token.h"
 #include "util/spsc_queue.h"
+#include "util/sync.h"
 
 namespace tracer::core {
 
@@ -61,10 +61,13 @@ class SyntheticRealtimeTarget final : public RealtimeTarget {
   void worker_loop();
 
   std::function<Seconds(const storage::IoRequest&)> latency_model_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Job> jobs_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Job> jobs_ TRACER_GUARDED_BY(mutex_);
+  /// Shutdown latch; same contract as ThreadPool::stopping_ — the store is
+  /// a release made while holding mutex_ (so a worker between predicate
+  /// check and wait cannot miss the notify), reads under the lock relax.
+  std::atomic<bool> stopping_{false};
   std::thread worker_;
 };
 
@@ -76,6 +79,7 @@ struct RealtimeReport {
   double mbps = 0.0;
   double avg_latency_ms = 0.0;
   double max_timing_error_ms = 0.0;  ///< |actual - scheduled| issue skew
+  bool stopped = false;  ///< replay was cut short by cancellation
 };
 
 class RealtimeReplayer {
@@ -91,8 +95,21 @@ class RealtimeReplayer {
   /// Materializing-API compatibility wrapper (borrows, no copy).
   RealtimeReport replay(const trace::Trace& trace, RealtimeTarget& target);
 
+  /// Cooperative stop latch for a replay running on another thread (a
+  /// wall-clock replay of a long trace blocks for its full duration, so a
+  /// Ctrl-C path needs this). request_cancel() is an atomic store — safe
+  /// from any thread or a signal handler. The issuing loop polls it
+  /// between bunches and inside its inter-bunch sleep (sliced, so a
+  /// seconds-long gap still stops within ~10 ms); in-flight completions
+  /// are ALWAYS drained before replay() returns — their callbacks write
+  /// into replay()'s stack frame, so returning with I/O outstanding would
+  /// be a use-after-return, not a fast shutdown. The latch persists across
+  /// replays (like util::CancelToken everywhere else); reset() re-arms it.
+  util::CancelToken& cancel_token() { return cancel_; }
+
  private:
   double speed_;
+  util::CancelToken cancel_;
 };
 
 }  // namespace tracer::core

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "db/record.h"
+#include "util/sync.h"
 
 namespace tracer::db {
 
@@ -61,9 +61,9 @@ class Database {
   void export_csv(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TestRecord> records_;
-  std::uint64_t next_id_ = 1;
+  mutable util::Mutex mutex_;  ///< guards the table; sweep workers insert
+  std::vector<TestRecord> records_ TRACER_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ TRACER_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace tracer::db

@@ -72,6 +72,9 @@ CampaignJournal::CampaignJournal(std::filesystem::path path)
     char last = '\n';
     if (in.get(last)) needs_newline = last != '\n';
   }
+  // Constructor-time lock: uncontended (no other thread can hold a
+  // reference yet), present for the thread-safety analysis.
+  util::MutexLock lock(mutex_);
   out_.open(path_, std::ios::app);
   if (!out_) {
     throw std::runtime_error("CampaignJournal: cannot open " + path_.string());
@@ -85,7 +88,7 @@ CampaignJournal::CampaignJournal(std::filesystem::path path)
 }
 
 void CampaignJournal::append(const TestRecord& r) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   util::CsvWriter csv(out_);
   csv.row()
       .add(r.test_id)

@@ -8,11 +8,11 @@
 
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "db/record.h"
+#include "util/sync.h"
 
 namespace tracer::db {
 
@@ -37,9 +37,9 @@ class CampaignJournal {
                          double load_proportion);
 
  private:
-  std::filesystem::path path_;
-  std::ofstream out_;
-  std::mutex mutex_;
+  std::filesystem::path path_;  ///< immutable after construction
+  std::ofstream out_ TRACER_GUARDED_BY(mutex_);
+  util::Mutex mutex_;  ///< serialises append(): one row, one flush, atomically
 };
 
 }  // namespace tracer::db

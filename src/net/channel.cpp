@@ -37,7 +37,7 @@ bool Endpoint::peer_open() const {
 
 bool Endpoint::peer_closed() const {
   if (!state_) return true;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   return !peer_open();
 }
 
@@ -50,7 +50,7 @@ bool Endpoint::send(Frame frame) {
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::MutexLock lock(state_->mutex);
     if (!peer_open()) return false;
     outbox().push_back(std::move(frame));
   }
@@ -61,7 +61,7 @@ bool Endpoint::send(Frame frame) {
 
 std::optional<Frame> Endpoint::poll() {
   if (!state_) return std::nullopt;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   auto& queue = inbox();
   if (queue.empty()) return std::nullopt;
   Frame frame = std::move(queue.front());
@@ -72,14 +72,19 @@ std::optional<Frame> Endpoint::poll() {
 
 std::optional<Frame> Endpoint::recv(Seconds timeout) {
   if (!state_) return std::nullopt;
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   auto& queue = inbox();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::duration<double>(timeout));
-  state_->cv.wait_until(lock, deadline, [&] {
-    return !queue.empty() || !peer_open();
-  });
+  // Hand-written wait loop (util/sync.h): the analysis can see that the
+  // guarded reads happen with the lock held, which a predicate lambda
+  // invoked from inside wait_until would hide.
+  while (queue.empty() && peer_open()) {
+    if (state_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
   if (queue.empty()) return std::nullopt;
   Frame frame = std::move(queue.front());
   queue.pop_front();
@@ -90,7 +95,7 @@ std::optional<Frame> Endpoint::recv(Seconds timeout) {
 void Endpoint::close() {
   if (!state_) return;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::MutexLock lock(state_->mutex);
     (is_a_ ? state_->a_open : state_->b_open) = false;
   }
   state_->cv.notify_all();

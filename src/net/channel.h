@@ -4,14 +4,13 @@
 // the distributed example runs each host on its own thread.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "util/sync.h"
 #include "util/types.h"
 
 namespace tracer::net {
@@ -62,21 +61,24 @@ class Endpoint {
  private:
   friend std::pair<Endpoint, Endpoint> make_channel();
 
+  // Shared::mutex guards both queues and both open flags; cv signals frame
+  // arrival and hang-up. Both endpoints (usually on different threads)
+  // contend on this one lock — the whole point of the type.
   struct Shared {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Frame> to_a;
-    std::deque<Frame> to_b;
-    bool a_open = true;
-    bool b_open = true;
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::deque<Frame> to_a TRACER_GUARDED_BY(mutex);
+    std::deque<Frame> to_b TRACER_GUARDED_BY(mutex);
+    bool a_open TRACER_GUARDED_BY(mutex) = true;
+    bool b_open TRACER_GUARDED_BY(mutex) = true;
   };
 
   Endpoint(std::shared_ptr<Shared> state, bool is_a)
       : state_(std::move(state)), is_a_(is_a) {}
 
-  std::deque<Frame>& inbox() const;
-  std::deque<Frame>& outbox() const;
-  bool peer_open() const;
+  std::deque<Frame>& inbox() const TRACER_REQUIRES(state_->mutex);
+  std::deque<Frame>& outbox() const TRACER_REQUIRES(state_->mutex);
+  bool peer_open() const TRACER_REQUIRES(state_->mutex);
 
   std::shared_ptr<Shared> state_;
   bool is_a_ = false;

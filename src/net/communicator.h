@@ -10,6 +10,14 @@
 // heartbeats and a liveness deadline detect a dead peer in seconds; reset()
 // re-pairs the transport after a hard disconnect while keeping the RPC
 // identity state, so retried requests still dedup on the server.
+//
+// Concurrency: a Communicator is THREAD-CONFINED — sequence counters,
+// stash, and dedup state are unguarded by design. One thread drives all of
+// send/poll/recv/call/reset on a given instance (the host's control loop,
+// or the generator's serve loop); cross-thread control arrives through the
+// messages themselves, never through concurrent calls on this object. The
+// underlying Channel endpoints ARE thread-safe — concurrency lives at the
+// transport layer, one Communicator per thread above it (DESIGN.md §6e).
 #pragma once
 
 #include <chrono>
@@ -44,6 +52,9 @@ struct CallOptions {
 /// pairs. A retransmitted request whose reply was lost on the wire hits
 /// this cache and gets the reply re-sent — the command does not run twice.
 /// request_id 0 (legacy/OOB) is never cached.
+///
+/// Concurrency: thread-confined, like the Communicator/Messenger that own
+/// it (DESIGN.md §6e) — no internal locking.
 class ReplyCache {
  public:
   explicit ReplyCache(std::size_t capacity = 32) : capacity_(capacity) {}

@@ -44,7 +44,7 @@ FaultyEndpoint::FaultyEndpoint(Endpoint inner, FaultPlan plan)
 
 void FaultyEndpoint::flush_due(std::chrono::steady_clock::time_point now) {
   if (!state_) return;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   // A reorder hold with no follow-up frame must not wait forever; age it
   // out on the same clock as delayed frames.
   if (state_->held && state_->held->due <= now) {
@@ -60,7 +60,7 @@ void FaultyEndpoint::flush_due(std::chrono::steady_clock::time_point now) {
 std::optional<std::chrono::steady_clock::time_point> FaultyEndpoint::next_due()
     const {
   if (!state_) return std::nullopt;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   std::optional<std::chrono::steady_clock::time_point> due;
   if (state_->held) due = state_->held->due;
   if (!state_->delayed.empty()) {
@@ -85,7 +85,7 @@ bool FaultyEndpoint::send(Frame frame) {
   static auto& stalled = fault_counter("net.fault.stalled");
   static auto& disconnects = fault_counter("net.fault.disconnects");
 
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   if (!inner_.connected()) return false;
   const std::uint64_t n = ++state_->stats.sent;
 
@@ -198,7 +198,7 @@ std::optional<Frame> FaultyEndpoint::recv(Seconds timeout) {
 void FaultyEndpoint::close() {
   if (state_) {
     // Frames still held for delay/reorder die with the connection.
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    util::MutexLock lock(state_->mutex);
     state_->held.reset();
     state_->delayed.clear();
   }
@@ -207,7 +207,7 @@ void FaultyEndpoint::close() {
 
 FaultStats FaultyEndpoint::stats() const {
   if (!state_) return FaultStats{};
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  util::MutexLock lock(state_->mutex);
   return state_->stats;
 }
 

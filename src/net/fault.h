@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "net/channel.h"
+#include "util/sync.h"
 #include "util/types.h"
 
 namespace tracer::net {
@@ -97,11 +97,13 @@ class FaultyEndpoint {
     Frame frame;
     std::chrono::steady_clock::time_point due;
   };
+  // State::mutex guards the fault bookkeeping; the distributed soak drives
+  // one FaultyEndpoint from a service thread while tests pump() it.
   struct State {
-    std::mutex mutex;
-    FaultStats stats;
-    std::optional<Pending> held;  ///< reorder slot
-    std::deque<Pending> delayed;
+    util::Mutex mutex;
+    FaultStats stats TRACER_GUARDED_BY(mutex);
+    std::optional<Pending> held TRACER_GUARDED_BY(mutex);  ///< reorder slot
+    std::deque<Pending> delayed TRACER_GUARDED_BY(mutex);
   };
 
   void flush_due(std::chrono::steady_clock::time_point now);

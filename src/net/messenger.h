@@ -5,6 +5,12 @@
 //
 // Serves POWER_INIT / POWER_START / POWER_STOP commands against a
 // power::PowerAnalyzer and reports POWER_RESULT (current/voltage/watts).
+//
+// Concurrency: thread-confined like Communicator — one serve loop owns the
+// Messenger, so initialized_/running_/replies_ need no locks. The
+// PowerAnalyzer it drives is internally synchronised, so a sampling loop
+// on another thread ticking sample_at() against a serve() thread handling
+// POWER_STOP is safe (DESIGN.md §6e).
 #pragma once
 
 #include "net/communicator.h"

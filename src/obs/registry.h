@@ -21,10 +21,11 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace tracer::obs {
 
@@ -165,11 +166,17 @@ class Registry {
   void reset_values();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  // mutex_ guards the name->instrument maps only. The instruments
+  // themselves are atomic-based and lock-free; handles returned to callers
+  // stay valid (unique_ptr targets never move), which is why the hot path
+  // never re-enters this lock.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TRACER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TRACER_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
-      histograms_;
+      histograms_ TRACER_GUARDED_BY(mutex_);
 };
 
 /// Adds the scope's wall-clock duration (microseconds) to `micros` and one

@@ -12,8 +12,16 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::enable() {
-  if (!epoch_set_.exchange(true, std::memory_order_acq_rel)) {
-    epoch_ = std::chrono::steady_clock::now();
+  {
+    // First enable() wins the epoch. The write happens under the mutex and
+    // strictly before the release store that publishes it, so a concurrent
+    // now_us() either sees epoch_set_ false (returns 0) or sees the fully
+    // written epoch — never a torn read (see the note on epoch_set_).
+    util::MutexLock lock(buffers_mutex_);
+    if (!epoch_set_.load(std::memory_order_relaxed)) {
+      epoch_ = std::chrono::steady_clock::now();
+      epoch_set_.store(true, std::memory_order_release);
+    }
   }
   enabled_.store(true, std::memory_order_release);
 }
@@ -34,7 +42,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
     auto fresh = std::make_shared<ThreadBuffer>();
     fresh->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    util::MutexLock lock(buffers_mutex_);
     buffers_.push_back(fresh);
     return fresh;
   }();
@@ -44,7 +52,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 void Tracer::record(const char* name, std::uint64_t begin_us,
                     std::uint64_t dur_us) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  util::MutexLock lock(buffer.mutex);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -55,12 +63,12 @@ void Tracer::record(const char* name, std::uint64_t begin_us,
 std::vector<SpanEvent> Tracer::events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    util::MutexLock lock(buffers_mutex_);
     buffers = buffers_;
   }
   std::vector<SpanEvent> out;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    util::MutexLock lock(buffer->mutex);
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
   return out;
@@ -69,11 +77,11 @@ std::vector<SpanEvent> Tracer::events() const {
 void Tracer::clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    util::MutexLock lock(buffers_mutex_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    util::MutexLock lock(buffer->mutex);
     buffer->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);

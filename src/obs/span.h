@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace tracer::obs {
 
@@ -75,9 +76,9 @@ class Tracer {
   Tracer() = default;
 
   struct ThreadBuffer {
-    std::mutex mutex;  ///< uncontended on the hot path; drain() takes it too
-    std::vector<SpanEvent> events;
-    std::uint32_t tid = 0;
+    util::Mutex mutex;  ///< uncontended on the hot path; drain() takes it too
+    std::vector<SpanEvent> events TRACER_GUARDED_BY(mutex);
+    std::uint32_t tid = 0;  ///< immutable after registration
   };
 
   ThreadBuffer& local_buffer();
@@ -88,12 +89,18 @@ class Tracer {
   static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
 
   std::atomic<bool> enabled_{false};
+  /// Epoch publication: epoch_ is written once, under buffers_mutex_,
+  /// BEFORE the release store to epoch_set_; now_us() reads it only after
+  /// an acquire load of epoch_set_ observes true. (The earlier
+  /// exchange-then-write order let a concurrent now_us() read a
+  /// half-written time_point — caught by the TSan suite.)
   std::atomic<bool> epoch_set_{false};
   std::chrono::steady_clock::time_point epoch_{};
   std::atomic<std::uint32_t> next_tid_{1};
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex buffers_mutex_;  ///< guards buffers_ registration list
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable util::Mutex buffers_mutex_;  ///< guards buffers_ registration list
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      TRACER_GUARDED_BY(buffers_mutex_);
 };
 
 /// RAII span: times its scope and reports to Tracer::global(). When the

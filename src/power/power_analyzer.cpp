@@ -36,6 +36,7 @@ PowerAnalyzer::PowerAnalyzer(Seconds cycle, HallSensorParams sensor,
 }
 
 std::size_t PowerAnalyzer::add_channel(PowerSource& source) {
+  util::MutexLock lock(mutex_);
   if (running_) {
     throw std::logic_error("PowerAnalyzer: cannot add channels mid-run");
   }
@@ -47,6 +48,7 @@ std::size_t PowerAnalyzer::add_channel(PowerSource& source) {
 }
 
 void PowerAnalyzer::start(Seconds t) {
+  util::MutexLock lock(mutex_);
   started_at_ = t;
   last_sample_ = t;
   running_ = true;
@@ -60,12 +62,14 @@ void PowerAnalyzer::start(Seconds t) {
 }
 
 void PowerAnalyzer::stop() {
+  util::MutexLock lock(mutex_);
   if (!running_) return;
   running_ = false;
   stopped_ = true;
 }
 
 void PowerAnalyzer::sample_at(Seconds t) {
+  util::MutexLock lock(mutex_);
   if (!running_) {
     if (stopped_) {
       // Window closed: the driver's sampling loop may lag the STOP command;
@@ -103,10 +107,14 @@ void PowerAnalyzer::schedule_sampling(sim::Simulator& sim, Seconds t_start,
 }
 
 const ChannelReport& PowerAnalyzer::report(std::size_t channel) const {
+  // The returned reference outlives the lock; see the header contract
+  // (reports are read after stop(), never while a window is sampling).
+  util::MutexLock lock(mutex_);
   return channels_.at(channel).report;
 }
 
 void PowerAnalyzer::reset() {
+  util::MutexLock lock(mutex_);
   running_ = false;
   stopped_ = false;
   for (auto& channel : channels_) {

@@ -15,6 +15,7 @@
 #include "power/power_source.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
+#include "util/sync.h"
 
 namespace tracer::power {
 
@@ -61,7 +62,10 @@ class PowerAnalyzer {
   void stop();
 
   /// Measuring right now (start()ed and not yet stop()ped/reset()).
-  bool running() const { return running_; }
+  bool running() const {
+    util::MutexLock lock(mutex_);
+    return running_;
+  }
 
   /// Take one reading on every channel for the cycle ending at time t.
   /// Throws if the analyzer was never started; silently ignored when the
@@ -72,7 +76,14 @@ class PowerAnalyzer {
   /// [t_start, t_end]. The caller still runs the simulator.
   void schedule_sampling(sim::Simulator& sim, Seconds t_start, Seconds t_end);
 
-  std::size_t channel_count() const { return channels_.size(); }
+  std::size_t channel_count() const {
+    util::MutexLock lock(mutex_);
+    return channels_.size();
+  }
+
+  /// Reference into this analyzer's channel state. Stable only while no
+  /// window is open: read reports after stop() (a concurrent sample_at
+  /// would be appending to the vector behind the reference).
   const ChannelReport& report(std::size_t channel) const;
 
   /// Clear all recorded samples; keeps channels and calibration.
@@ -87,14 +98,20 @@ class PowerAnalyzer {
     Joules last_energy = 0.0;
   };
 
-  Seconds cycle_;
-  HallSensorParams sensor_params_;
-  util::Rng seed_rng_;
-  Seconds started_at_ = 0.0;
-  Seconds last_sample_ = 0.0;
-  bool running_ = false;
-  bool stopped_ = false;  ///< start()ed then stop()ped (window closed)
-  std::vector<Channel> channels_;
+  Seconds cycle_;  ///< immutable after construction
+  HallSensorParams sensor_params_;  ///< immutable after construction
+  /// Window state below is guarded: the driver loop that ticks sample_at
+  /// and the control path that calls stop()/reset() may be different
+  /// threads (POWER_STOP arrives over the messenger while the sampling
+  /// loop is still running), so stop-vs-tick must serialise.
+  mutable util::Mutex mutex_;
+  util::Rng seed_rng_ TRACER_GUARDED_BY(mutex_);
+  Seconds started_at_ TRACER_GUARDED_BY(mutex_) = 0.0;
+  Seconds last_sample_ TRACER_GUARDED_BY(mutex_) = 0.0;
+  bool running_ TRACER_GUARDED_BY(mutex_) = false;
+  /// start()ed then stop()ped (window closed).
+  bool stopped_ TRACER_GUARDED_BY(mutex_) = false;
+  std::vector<Channel> channels_ TRACER_GUARDED_BY(mutex_);
 };
 
 }  // namespace tracer::power

@@ -21,7 +21,7 @@ Logger& Logger::instance() {
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::cerr << "[tracer:" << to_string(level) << "] " << message << '\n';
 }
 

@@ -2,9 +2,11 @@
 // table output on stdout stays machine-parsable.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "util/sync.h"
 
 namespace tracer::util {
 
@@ -18,18 +20,22 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  /// Safe from any thread: tests lower the level while sweep workers are
+  /// already logging, so the threshold is an atomic, not a plain enum.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mutex_;  ///< serialises the stderr write so lines never interleave
 };
 
 /// RAII line builder; flushes on destruction.

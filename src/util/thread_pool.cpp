@@ -18,8 +18,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    // The store must happen with mutex_ held: a worker that has checked its
+    // wait condition but not yet blocked would otherwise miss the notify
+    // and sleep forever (see the ordering contract on stopping_).
+    MutexLock lock(mutex_);
+    stopping_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
@@ -29,9 +32,11 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      MutexLock lock(mutex_);
+      while (!stopping_.load(std::memory_order_relaxed) && queue_.empty()) {
+        cv_.wait(lock);
+      }
+      if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -5,17 +5,20 @@
 // Each submitted task is fully independent (its own Simulator instance), so
 // the pool needs no work stealing; a mutex-guarded deque is sufficient and
 // keeps the implementation auditable.
+//
+// Lock ownership (DESIGN.md §6e): mutex_ guards queue_. stopping_ is an
+// atomic latch with an ordering contract documented at its declaration.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/cancel_token.h"
+#include "util/sync.h"
 
 namespace tracer::util {
 
@@ -32,6 +35,12 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True once the destructor has begun shutdown; submit() refuses new
+  /// work from that point on.
+  bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
   /// Enqueue a callable; returns a future for its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -40,8 +49,8 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
+      MutexLock lock(mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
       queue_.emplace_back([task] { (*task)(); });
@@ -64,10 +73,18 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ TRACER_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar cv_;
+  /// Shutdown latch. Ordering contract: the only store (destructor) is a
+  /// release executed while holding mutex_, immediately before
+  /// cv_.notify_all() — holding the mutex for the store is what makes the
+  /// notify reliable (a worker between its predicate check and its wait
+  /// would otherwise miss it). Reads take memory_order_acquire when made
+  /// without the lock (stopping()); reads made under mutex_ (worker
+  /// predicate, submit) may be relaxed because the locked store already
+  /// ordered them.
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace tracer::util

@@ -1,0 +1,31 @@
+// POSITIVE control for the thread-safety gate (tests/CMakeLists.txt): the
+// same shape as unguarded_access.cpp but holding the mutex, so it must
+// compile cleanly under -Werror=thread-safety. Together the pair proves
+// the negative check fails for exactly the right reason.
+#include "util/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int read() const {
+    tracer::util::MutexLock lock(mutex_);
+    return value_;
+  }
+  void write(int v) {
+    tracer::util::MutexLock lock(mutex_);
+    value_ = v;
+  }
+
+ private:
+  mutable tracer::util::Mutex mutex_;
+  int value_ TRACER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded guarded;
+  guarded.write(1);
+  return guarded.read();
+}

@@ -1,0 +1,31 @@
+// NEGATIVE compile check for the thread-safety gate (tests/CMakeLists.txt):
+// this TU reads and writes a TRACER_GUARDED_BY field WITHOUT holding its
+// mutex. Under Clang with -Werror=thread-safety it must FAIL to compile;
+// if it ever compiles, the gate is dead and the configure step aborts.
+// guarded_access.cpp is the positive control proving the failure comes
+// from the missing lock, not from an unrelated build problem.
+#include "util/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int read() const {
+    return value_;  // BUG (deliberate): no lock held
+  }
+  void write(int v) {
+    value_ = v;  // BUG (deliberate): no lock held
+  }
+
+ private:
+  mutable tracer::util::Mutex mutex_;
+  int value_ TRACER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded guarded;
+  guarded.write(1);
+  return guarded.read();
+}

@@ -1,0 +1,299 @@
+// Deliberately-adversarial concurrency stress (docs/STATIC_ANALYSIS.md).
+// Each test hammers a cross-thread interleaving that the locking work in
+// this tree must survive: run them under the `tsan` preset and every data
+// race here is a build failure, not a flake. On the default preset they
+// double as functional regression tests for the same scenarios.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/evaluation_host.h"
+#include "core/realtime_replayer.h"
+#include "net/communicator.h"
+#include "net/messenger.h"
+#include "obs/registry.h"
+#include "power/power_analyzer.h"
+#include "util/thread_pool.h"
+
+namespace tracer {
+namespace {
+
+// Constant-power source whose energy integral tolerates OUT-OF-ORDER
+// query times. PowerTimeline demands monotone time (a meter's cursor),
+// but this suite's whole point is stop()/start() from one thread racing
+// sample_at() ticks from another — the two threads' time arguments
+// interleave arbitrarily, so the test double must clamp instead of
+// throw. All calls arrive under the analyzer's internal lock, so the
+// cursor needs no synchronisation of its own.
+class StressSource final : public power::PowerSource {
+ public:
+  explicit StressSource(Watts base) : base_(base) {}
+  std::string name() const override { return "stress-array"; }
+  Watts power_at(Seconds) const override { return base_; }
+  Joules energy_until(Seconds t) override {
+    if (t > max_t_) max_t_ = t;
+    return base_ * max_t_;
+  }
+
+ private:
+  Watts base_;
+  Seconds max_t_ = 0.0;
+};
+
+workload::WorkloadMode stress_mode(Bytes request_size) {
+  workload::WorkloadMode mode;
+  mode.request_size = request_size;
+  mode.random_ratio = 0.5;
+  mode.read_ratio = 0.5;
+  mode.load_proportion = 1.0;
+  return mode;
+}
+
+trace::Trace paced_trace(std::size_t bunches, Seconds gap) {
+  trace::Trace trace;
+  trace.device = "stress";
+  for (std::size_t b = 0; b < bunches; ++b) {
+    trace::Bunch bunch;
+    bunch.timestamp = static_cast<double>(b) * gap;
+    bunch.packages.push_back(trace::IoPackage{b * 8, 4096, OpType::kRead});
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+// clear_peak_cache racing peak_trace_shared: clears must never evict an
+// in-flight build (a second same-key build would race the repository
+// write), and every caller must still get a complete trace.
+TEST(ConcurrencyStress, PeakCacheBuildVsClear) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tracer_stress_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  core::EvaluationOptions options;
+  options.collection_duration = 0.2;
+  core::EvaluationHost host(storage::ArrayConfig::hdd_testbed(4), dir,
+                            options);
+
+  std::atomic<bool> done{false};
+  std::thread clearer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      host.clear_peak_cache();
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kRequesters = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> requesters;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kRequesters; ++r) {
+    requesters.emplace_back([&, r] {
+      for (int i = 0; i < kRounds; ++i) {
+        // Two keys: half the threads collide on each, so same-key joins
+        // and distinct-key parallel builds both happen under clearing.
+        const auto mode = stress_mode((r % 2 == 0) ? 16 * kKiB : 32 * kKiB);
+        auto trace = host.peak_trace_shared(mode);
+        if (!trace || trace->bunch_count() == 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : requesters) t.join();
+  done.store(true, std::memory_order_release);
+  clearer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The cache may be empty or mid-build afterwards; a final clear with no
+  // writers drains every ready entry.
+  host.clear_peak_cache();
+  EXPECT_EQ(host.peak_cache_size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// Registry snapshots race instrument updates by design (lock-free atomic
+// instruments, locked name map); a snapshot taken mid-increment must see a
+// value between the start and end counts, never garbage.
+TEST(ConcurrencyStress, RegistrySnapshotVsIncrement) {
+  auto& reg = obs::Registry::global();
+  auto& counter = reg.counter("stress.snapshot.counter");
+  const std::uint64_t before =
+      reg.snapshot().counter_or("stress.snapshot.counter");
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) counter.increment();
+    });
+  }
+  // Snapshots also REGISTER new instruments concurrently, so the name-map
+  // lock is contended too, not just the instrument atomics.
+  std::thread registrar([&] {
+    for (int i = 0; i < 50; ++i) {
+      reg.counter("stress.snapshot.registrar." + std::to_string(i))
+          .increment();
+    }
+  });
+  go.store(true, std::memory_order_release);
+  std::uint64_t last_seen = before;
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = reg.snapshot();
+    const std::uint64_t seen =
+        snap.counter_or("stress.snapshot.counter", before);
+    EXPECT_GE(seen, last_seen);  // monotone under concurrent increments
+    last_seen = seen;
+  }
+  for (auto& t : writers) t.join();
+  registrar.join();
+  const auto final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counter_or("stress.snapshot.counter"),
+            before + kWriters * kPerWriter);
+}
+
+// Cancelling a replay mid-flight: the issuing loop stops promptly (sliced
+// sleeps), the report says so, and — critically — every completion whose
+// callback writes into replay()'s stack frame has landed before return.
+TEST(ConcurrencyStress, RealtimeStopDuringDrain) {
+  core::RealtimeReplayer replayer(/*speed=*/1.0);
+  // Nonzero service latency keeps I/O outstanding at cancel time, so the
+  // straggler drain actually has stragglers to wait for.
+  core::SyntheticRealtimeTarget target(
+      [](const storage::IoRequest&) { return 2e-3; });
+  const trace::Trace trace = paced_trace(2000, 0.01);  // ~20 s uncancelled
+
+  core::RealtimeReport report;
+  std::thread runner(
+      [&] { report = replayer.replay(trace, target); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  replayer.cancel_token().request_cancel();
+  runner.join();
+
+  EXPECT_TRUE(report.stopped);
+  EXPECT_GT(report.packages, 0u);
+  EXPECT_LT(report.packages, 2000u);
+  EXPECT_LT(report.wall_duration, 5.0);  // nowhere near the full trace span
+
+  // The latch persists until re-armed: an immediate replay stops at the
+  // first bunch, then reset() restores normal operation.
+  const core::RealtimeReport cancelled = replayer.replay(trace, target);
+  EXPECT_TRUE(cancelled.stopped);
+  EXPECT_EQ(cancelled.packages, 0u);
+  replayer.cancel_token().reset();
+  core::RealtimeReplayer fast(/*speed=*/1000.0);
+  const core::RealtimeReport full =
+      fast.replay(paced_trace(20, 0.001), target);
+  EXPECT_FALSE(full.stopped);
+  EXPECT_EQ(full.packages, 20u);
+}
+
+// Transport reset while a call() is in flight across threads: the client
+// retries over a fresh channel pair served by a live server thread, and
+// the dedup/reconnect machinery keeps the RPC exactly-once.
+TEST(ConcurrencyStress, CommunicatorResetDuringCall) {
+  for (int round = 0; round < 20; ++round) {
+    auto [dead_client, dead_server] = net::make_channel();
+    net::Communicator client(std::move(dead_client));
+    // Kill the first transport from another thread while the call's first
+    // attempt may already be waiting on it.
+    std::thread killer([end = std::move(dead_server)]() mutable {
+      end.close();
+    });
+
+    auto [fresh_client, fresh_server] = net::make_channel();
+    net::Communicator server(std::move(fresh_server));
+    std::atomic<bool> serve_done{false};
+    std::thread service([&] {
+      auto request = server.recv(5.0);
+      if (request) server.reply(*request, net::make_ack(0));
+      serve_done.store(true, std::memory_order_release);
+    });
+
+    net::Message command;
+    command.type = net::MessageType::kPowerInit;
+    net::CallOptions options;
+    options.attempt_timeout = 0.2;
+    options.max_attempts = 5;
+    bool reconnected = false;
+    options.on_attempt_failure = [&](int) {
+      if (!reconnected) {
+        client.reset(std::move(fresh_client));
+        reconnected = true;
+      }
+      return true;
+    };
+    const auto reply = client.call(std::move(command), options);
+    killer.join();
+    service.join();
+    ASSERT_TRUE(reply.has_value()) << "round " << round;
+    EXPECT_EQ(reply->type, net::MessageType::kAck);
+    EXPECT_TRUE(serve_done.load());
+  }
+}
+
+// One thread ticks sample_at while another slams stop/start windows: ticks
+// after stop must be ignored (never recorded into the closed report) and
+// nothing may tear.
+TEST(ConcurrencyStress, PowerAnalyzerStopVsTick) {
+  StressSource source(100.0);
+  power::PowerAnalyzer analyzer(/*cycle=*/0.01);
+  analyzer.add_channel(source);
+  analyzer.start(0.0);
+
+  std::atomic<bool> done{false};
+  std::thread ticker([&] {
+    Seconds t = 0.0;
+    while (!done.load(std::memory_order_acquire)) {
+      t += 0.01;
+      analyzer.sample_at(t);  // ignored once a stop() lands
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    analyzer.stop();
+    std::this_thread::yield();
+    analyzer.start(static_cast<double>(i));
+  }
+  analyzer.stop();
+  done.store(true, std::memory_order_release);
+  ticker.join();
+
+  EXPECT_FALSE(analyzer.running());
+  // Closed window: late ticks land on the ignored counter, not the report.
+  const auto ignored_before = obs::Registry::global().snapshot().counter_or(
+      "power.samples_ignored");
+  analyzer.sample_at(1e6);
+  analyzer.sample_at(2e6);
+  EXPECT_EQ(obs::Registry::global().snapshot().counter_or(
+                "power.samples_ignored"),
+            ignored_before + 2);
+}
+
+// ThreadPool construction/teardown churn with submitters racing shutdown:
+// the stop latch and queue must stay coherent through rapid lifecycles.
+TEST(ConcurrencyStress, ThreadPoolShutdownChurn) {
+  std::atomic<std::uint64_t> executed{0};
+  for (int round = 0; round < 50; ++round) {
+    util::ThreadPool pool(2);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 3; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 20; ++i) {
+          pool.submit(
+              [&] { executed.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    // Pool destructor runs here with up to 60 queued tasks: shutdown must
+    // drain them all, not drop them.
+  }
+  EXPECT_EQ(executed.load(), 50u * 3u * 20u);
+}
+
+}  // namespace
+}  // namespace tracer

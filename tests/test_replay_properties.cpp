@@ -136,8 +136,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ModeCase{"ssd", 4 * kKiB, 50, 100},
                       ModeCase{"ssd", 128 * kKiB, 0, 0},
                       ModeCase{"ssd", 16 * kKiB, 100, 50}),
-    [](const ::testing::TestParamInfo<ModeCase>& info) {
-      const auto& p = info.param;
+    [](const ::testing::TestParamInfo<ModeCase>& mode_info) {
+      const auto& p = mode_info.param;
       return std::string(p.array) + "_rs" +
              std::to_string(p.request_size / 512) + "x512_rd" +
              std::to_string(p.read_pct) + "_rnd" +

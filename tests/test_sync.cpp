@@ -1,0 +1,185 @@
+// util::sync — the annotated primitives themselves (docs/STATIC_ANALYSIS.md).
+// The Clang thread-safety checks are compile-time (exercised by the
+// compile-fail target and the Clang CI job); these tests pin the runtime
+// behaviour the wrappers promise on every compiler.
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace tracer::util {
+namespace {
+
+#ifndef __clang__
+// On non-Clang compilers every annotation macro must expand to nothing.
+// Proof: reference a capability expression that names NOTHING in scope —
+// if the macro survived expansion, this would be a compile error.
+struct MacroNoOpProbe {
+  int value TRACER_GUARDED_BY(no_such_mutex_anywhere) = 7;
+  int* ptr TRACER_PT_GUARDED_BY(no_such_mutex_anywhere) = nullptr;
+  void touch() TRACER_REQUIRES(no_such_mutex_anywhere)
+      TRACER_EXCLUDES(another_ghost) {}
+};
+
+TEST(SyncMacros, ExpandToNothingOutsideClang) {
+  MacroNoOpProbe probe;
+  probe.touch();  // no lock exists, no lock is needed
+  EXPECT_EQ(probe.value, 7);
+}
+#endif
+
+TEST(Mutex, TryLockReflectsOwnership) {
+  Mutex mutex;
+  ASSERT_TRUE(mutex.try_lock());
+  // A second owner must fail while we hold it (probe from another thread;
+  // recursive try_lock on one thread is UB for std::mutex).
+  bool contended_acquired = true;
+  std::thread prober(
+      [&] { contended_acquired = mutex.try_lock(); });
+  prober.join();
+  EXPECT_FALSE(contended_acquired);
+  mutex.unlock();
+}
+
+TEST(MutexLock, AcquiresForScopeAndReleasesAtExit) {
+  Mutex mutex;
+  auto probe = [&mutex] {
+    bool acquired = false;
+    std::thread t([&] {
+      acquired = mutex.try_lock();
+      if (acquired) mutex.unlock();
+    });
+    t.join();
+    return acquired;
+  };
+  {
+    MutexLock lock(mutex);
+    EXPECT_FALSE(probe());  // held by the scope
+  }
+  EXPECT_TRUE(probe());  // destructor released it
+}
+
+TEST(MutexLock, MidScopeUnlockAndRelock) {
+  Mutex mutex;
+  MutexLock lock(mutex);
+  lock.unlock();
+  EXPECT_TRUE(mutex.try_lock());  // really released
+  mutex.unlock();
+  lock.lock();  // re-acquire; destructor releases the re-held lock
+}
+
+TEST(MutexPairLock, HoldsBothThenReleasesBoth) {
+  Mutex a;
+  Mutex b;
+  auto probe_both = [&] {
+    bool got_a = false;
+    bool got_b = false;
+    std::thread t([&] {
+      got_a = a.try_lock();
+      if (got_a) a.unlock();
+      got_b = b.try_lock();
+      if (got_b) b.unlock();
+    });
+    t.join();
+    return std::pair<bool, bool>{got_a, got_b};
+  };
+  {
+    MutexPairLock lock(a, b);
+    const auto [got_a, got_b] = probe_both();
+    EXPECT_FALSE(got_a);
+    EXPECT_FALSE(got_b);
+  }
+  const auto [got_a, got_b] = probe_both();
+  EXPECT_TRUE(got_a);
+  EXPECT_TRUE(got_b);
+}
+
+TEST(MutexPairLock, OrderInsensitive) {
+  // std::lock ordering: two threads locking (a,b) and (b,a) cannot
+  // deadlock. Run enough rounds for an ordering bug to actually bite.
+  Mutex a;
+  Mutex b;
+  int counter = 0;
+  constexpr int kRounds = 2000;
+  std::thread forward([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      MutexPairLock lock(a, b);
+      ++counter;
+    }
+  });
+  std::thread backward([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      MutexPairLock lock(b, a);
+      ++counter;
+    }
+  });
+  forward.join();
+  backward.join();
+  EXPECT_EQ(counter, 2 * kRounds);
+}
+
+TEST(CondVar, WaitWakesOnNotify) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      MutexLock lock(mutex);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mutex);
+    while (!ready) cv.wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVar, WaitForTimesOutWithoutNotify) {
+  Mutex mutex;
+  CondVar cv;
+  MutexLock lock(mutex);
+  const auto status = cv.wait_for(lock, std::chrono::milliseconds(5));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVar, WaitUntilHonorsDeadline) {
+  Mutex mutex;
+  CondVar cv;
+  MutexLock lock(mutex);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  const auto status = cv.wait_until(lock, deadline);
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVar, ManyWaitersAllWake) {
+  Mutex mutex;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mutex);
+      while (!go) cv.wait(lock);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(awake, 4);
+}
+
+}  // namespace
+}  // namespace tracer::util
