@@ -3,10 +3,12 @@
 // whole replay. These are throughput guards, not paper figures.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 #include <sstream>
 
 #include "core/proportional_filter.h"
+#include "trace/columnar_format.h"
 #include "power/power_timeline.h"
 #include "trace/srt_format.h"
 #include "trace/trace_view.h"
@@ -117,6 +119,27 @@ void BM_BlkReadBulk(benchmark::State& state) {
 }
 BENCHMARK(BM_BlkReadBulk);
 
+// Columnar v2 sequential decode of the same trace as the blk read benches:
+// mmap'd structure-of-arrays windows instead of istream row records. The
+// acceptance bar is >= BM_BlkReadBulk items/s.
+void BM_ColumnarRead(benchmark::State& state) {
+  const trace::Trace trace = make_trace(10000, 8);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tracer_bench.replay2")
+          .string();
+  trace::write_columnar_file(path, trace);
+  std::vector<trace::Bunch> window;
+  for (auto _ : state) {
+    trace::ColumnarTraceReader reader(path);
+    reader.read_window(0, reader.bunch_count(), window);
+    benchmark::DoNotOptimize(window.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.package_count()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ColumnarRead);
+
 void BM_SimulatorEvents(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -146,6 +169,29 @@ void BM_ReplayHddArray(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.package_count()));
 }
 BENCHMARK(BM_ReplayHddArray);
+
+// Same replay as BM_ReplayHddArray but streamed from an on-disk columnar
+// trace through the shared TraceSource loop (windowed decode + page
+// eviction) — the steady-state cost of the bounded-memory path.
+void BM_ColumnarStreamReplay(benchmark::State& state) {
+  const trace::Trace trace = make_trace(2000, 4);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tracer_bench_replay.replay2")
+          .string();
+  trace::write_columnar_file(path, trace);
+  for (auto _ : state) {
+    auto source = trace::open_columnar_source(path);
+    core::ReplayEngine engine;
+    storage::DiskArray array(engine.simulator(),
+                             storage::ArrayConfig::hdd_testbed(6));
+    auto report = engine.replay(*source, array);
+    benchmark::DoNotOptimize(report.perf.iops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.package_count()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ColumnarStreamReplay);
 
 void BM_ZipfSampler(benchmark::State& state) {
   workload::ZipfSampler sampler(0.9,

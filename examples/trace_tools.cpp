@@ -2,7 +2,8 @@
 // workload-generator host's offline jobs (§III-A2: repository management
 // and format transformation) without the rest of the framework.
 //
-//   trace_tools info <file.replay>            trace statistics (Table III)
+//   trace_tools info <file.replay|.replay2>   trace statistics (Table III)
+//   trace_tools convert <in> <out>            v1 <-> v2, direction by magic
 //   trace_tools srt2replay <in.srt> <out.replay> [window_ms]
 //   trace_tools filter <in.replay> <out.replay> <percent>
 //   trace_tools scale <in.replay> <out.replay> <factor>
@@ -11,11 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/interarrival_scaler.h"
 #include "core/proportional_filter.h"
 #include "trace/blk_format.h"
+#include "trace/columnar_format.h"
 #include "trace/srt_format.h"
 #include "trace/trace_stats.h"
 #include "workload/cello_model.h"
@@ -28,14 +31,36 @@ using namespace tracer;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
-               "  %s info <file.replay>\n"
+               "  %s info <file.replay|file.replay2>\n"
+               "  %s convert <in> <out>   (v1 <-> v2, direction by magic)\n"
                "  %s srt2replay <in.srt> <out.replay> [window_ms=0.5]\n"
                "  %s filter <in.replay> <out.replay> <percent 1..100>\n"
                "  %s scale <in.replay> <out.replay> <factor>\n"
                "  %s gen-web <out.replay> [seconds=300]\n"
                "  %s gen-cello <out.srt> [seconds=300]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// Peek the 4-byte magic; true when `path` is a columnar v2 file.
+bool is_columnar_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + path);
+  }
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == 4 &&
+         std::memcmp(magic, trace::kColumnarMagic, 4) == 0;
+}
+
+trace::Trace load_any(const char* path) {
+  if (!is_columnar_file(path)) return trace::read_blk_file(path);
+  trace::ColumnarTraceReader reader(path);
+  trace::Trace trace;
+  trace.device = reader.device();
+  reader.read_window(0, reader.bunch_count(), trace.bunches);
+  return trace;
 }
 
 void print_info(const trace::Trace& trace) {
@@ -64,7 +89,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "info" && argc == 3) {
-      print_info(trace::read_blk_file(argv[2]));
+      print_info(load_any(argv[2]));
+      return 0;
+    }
+    if (command == "convert" && argc == 4) {
+      // Direction from the input's magic, not its extension: v1 in ->
+      // columnar out, v2 in -> row out. Both directions stream with
+      // bounded memory.
+      if (is_columnar_file(argv[2])) {
+        const std::uint64_t bunches =
+            trace::convert_columnar_to_blk(argv[2], argv[3]);
+        std::printf("v2 -> v1: %llu bunches -> %s\n",
+                    static_cast<unsigned long long>(bunches), argv[3]);
+      } else {
+        const std::uint64_t bunches =
+            trace::convert_blk_to_columnar(argv[2], argv[3]);
+        std::printf("v1 -> v2: %llu bunches -> %s\n",
+                    static_cast<unsigned long long>(bunches), argv[3]);
+      }
       return 0;
     }
     if (command == "srt2replay" && (argc == 4 || argc == 5)) {

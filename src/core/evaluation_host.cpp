@@ -146,9 +146,9 @@ std::size_t EvaluationHost::clear_peak_cache() {
   return dropped;
 }
 
-TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
-                                           const std::string& trace_name,
-                                           const workload::WorkloadMode& mode) {
+TestResult EvaluationHost::replay_filtered(
+    std::shared_ptr<const trace::TraceSource> peak,
+    const std::string& trace_name, const workload::WorkloadMode& mode) {
   auto& reg = obs::Registry::global();
   static auto& filter_us = reg.counter("host.phase.filter.us");
   static auto& filter_calls = reg.counter("host.phase.filter.calls");
@@ -157,7 +157,7 @@ TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
   static auto& measure_us = reg.counter("host.phase.measure.us");
   static auto& measure_calls = reg.counter("host.phase.measure.calls");
 
-  const trace::TraceView filtered = [&] {
+  const std::shared_ptr<const trace::TraceSource> filtered = [&] {
     TRACER_SPAN("host.filter");
     obs::ScopedTimer timer(filter_us, filter_calls);
     return mode.load_proportion >= 1.0
@@ -185,7 +185,7 @@ TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
   ReplayReport report = [&] {
     TRACER_SPAN("host.replay");
     obs::ScopedTimer timer(replay_us, replay_calls);
-    return engine.replay(filtered, array);
+    return engine.replay(*filtered, array);
   }();
 
   std::optional<PowerReading> reading;
@@ -252,8 +252,9 @@ TestResult EvaluationHost::replay_filtered(const trace::TraceView& peak,
 TestResult EvaluationHost::run_test(const workload::WorkloadMode& mode) {
   // Shared immutable peak trace: all load levels of this mode replay views
   // over one cached instance instead of each regenerating/copying it.
-  trace::TraceView peak(peak_trace_shared(mode));
-  return replay_filtered(peak, mode.trace_key(array_.name).file_name(), mode);
+  auto peak = trace::make_source(trace::TraceView(peak_trace_shared(mode)));
+  return replay_filtered(std::move(peak),
+                         mode.trace_key(array_.name).file_name(), mode);
 }
 
 TestResult EvaluationHost::run_trace(const trace::Trace& trace,
@@ -265,7 +266,22 @@ TestResult EvaluationHost::run_trace(const trace::Trace& trace,
   mode.random_ratio = 0.0;  // unknown for external traces
   mode.load_proportion = load_proportion;
   // Borrow: `trace` stays alive for this synchronous call.
-  return replay_filtered(trace::TraceView::borrowed(trace), trace_name, mode);
+  return replay_filtered(
+      trace::make_source(trace::TraceView::borrowed(trace)), trace_name, mode);
+}
+
+TestResult EvaluationHost::run_source(
+    std::shared_ptr<const trace::TraceSource> source,
+    const std::string& trace_name, double load_proportion) {
+  if (source == nullptr) {
+    throw std::invalid_argument("EvaluationHost: null trace source");
+  }
+  workload::WorkloadMode mode;
+  mode.request_size = static_cast<Bytes>(source->mean_request_size());
+  mode.read_ratio = source->read_ratio();
+  mode.random_ratio = 0.0;  // unknown for external traces
+  mode.load_proportion = load_proportion;
+  return replay_filtered(std::move(source), trace_name, mode);
 }
 
 std::vector<SweepOutcome> EvaluationHost::run_sweep(

@@ -25,6 +25,7 @@
 #include "db/database.h"
 #include "storage/disk_array.h"
 #include "trace/repository.h"
+#include "trace/trace_source.h"
 #include "trace/trace_view.h"
 #include "workload/workload_mode.h"
 
@@ -106,6 +107,14 @@ class EvaluationHost {
   TestResult run_trace(const trace::Trace& trace, const std::string& trace_name,
                        double load_proportion);
 
+  /// Replay a streaming source (e.g. a columnar on-disk trace from
+  /// TraceRepository::load_source) at a load proportion — the
+  /// bounded-memory twin of run_trace: the trace is never materialized,
+  /// and produces bit-identical metrics to the in-memory path.
+  TestResult run_source(std::shared_ptr<const trace::TraceSource> source,
+                        const std::string& trace_name,
+                        double load_proportion);
+
   /// Run a whole sweep in parallel; outcomes come back in input order. A
   /// throwing test yields a failed slot instead of aborting the sweep, so
   /// every completed result survives. Pass a CancelToken to stop early:
@@ -137,7 +146,9 @@ class EvaluationHost {
   trace::TraceRepository& repository() { return repository_; }
 
  private:
-  TestResult replay_filtered(const trace::TraceView& peak,
+  /// The one test body: filter (streamed, lazy) -> replay -> meter ->
+  /// record. Views and columnar sources both funnel through here.
+  TestResult replay_filtered(std::shared_ptr<const trace::TraceSource> peak,
                              const std::string& trace_name,
                              const workload::WorkloadMode& mode);
 

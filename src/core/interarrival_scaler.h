@@ -9,7 +9,10 @@
 // this).
 #pragma once
 
+#include <memory>
+
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 #include "trace/trace_view.h"
 
 namespace tracer::core {
@@ -29,6 +32,15 @@ class InterarrivalScaler {
 
   static trace::TraceView scale_to_duration(const trace::TraceView& view,
                                             Seconds target_duration);
+
+  /// Streaming variants: lazy slices over any TraceSource, accumulating
+  /// the time divisor exactly like the view path (bit-identical replay).
+  static std::shared_ptr<const trace::TraceSource> scale(
+      std::shared_ptr<const trace::TraceSource> source, double factor);
+
+  static std::shared_ptr<const trace::TraceSource> scale_to_duration(
+      std::shared_ptr<const trace::TraceSource> source,
+      Seconds target_duration);
 };
 
 }  // namespace tracer::core

@@ -145,4 +145,28 @@ trace::TraceView ProportionalFilter::apply_random(const trace::TraceView& view,
   return view.select(random_positions(view.bunch_count(), k, group_size, seed));
 }
 
+std::shared_ptr<const trace::TraceSource> ProportionalFilter::apply(
+    std::shared_ptr<const trace::TraceSource> source, double proportion,
+    std::size_t group_size) {
+  if (source == nullptr) {
+    throw std::invalid_argument("ProportionalFilter: null source");
+  }
+  const std::size_t k = select_count_for(proportion, group_size);
+  const auto pattern = selection_pattern(group_size, k);
+  auto positions =
+      uniform_positions(source->bunch_count(), pattern, k, group_size);
+  return trace::TraceSlice::select(std::move(source), std::move(positions));
+}
+
+std::shared_ptr<const trace::TraceSource> ProportionalFilter::apply_random(
+    std::shared_ptr<const trace::TraceSource> source, double proportion,
+    std::uint64_t seed, std::size_t group_size) {
+  if (source == nullptr) {
+    throw std::invalid_argument("ProportionalFilter: null source");
+  }
+  const std::size_t k = select_count_for(proportion, group_size);
+  auto positions = random_positions(source->bunch_count(), k, group_size, seed);
+  return trace::TraceSlice::select(std::move(source), std::move(positions));
+}
+
 }  // namespace tracer::core

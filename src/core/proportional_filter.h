@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 #include "trace/trace_view.h"
 #include "util/rng.h"
 
@@ -62,6 +64,20 @@ class ProportionalFilter {
   static trace::TraceView apply_random(
       const trace::TraceView& view, double proportion, std::uint64_t seed,
       std::size_t group_size = kDefaultGroupSize);
+
+  /// Streaming variant: selects the identical positions over any
+  /// TraceSource (in-memory view or on-disk columnar trace) and returns a
+  /// lazy slice — filtering a multi-GB columnar trace costs one u32 index
+  /// vector, never a decoded copy.
+  static std::shared_ptr<const trace::TraceSource> apply(
+      std::shared_ptr<const trace::TraceSource> source, double proportion,
+      std::size_t group_size = kDefaultGroupSize);
+
+  /// Streaming variant of `apply_random`; same seed, same positions as the
+  /// other paths.
+  static std::shared_ptr<const trace::TraceSource> apply_random(
+      std::shared_ptr<const trace::TraceSource> source, double proportion,
+      std::uint64_t seed, std::size_t group_size = kDefaultGroupSize);
 };
 
 }  // namespace tracer::core

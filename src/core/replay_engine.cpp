@@ -30,22 +30,24 @@ Sector wrap_sector(Sector sector, Bytes bytes, Bytes capacity) {
   return sector % (usable + 1);
 }
 
-void ReplayEngine::schedule_bunch(const trace::TraceView& view,
+void ReplayEngine::schedule_bunch(const trace::TraceSource& source,
                                   std::size_t index,
                                   storage::BlockDevice& device) {
-  if (index >= view.bunch_count()) {
+  if (index >= source.bunch_count()) {
     trace_exhausted_ = true;
     return;
   }
-  const Seconds at = view.timestamp(index) / options_.time_scale;
+  const Seconds at = source.timestamp(index) / options_.time_scale;
   if (options_.max_duration > 0.0 && at > options_.max_duration) {
     trace_exhausted_ = true;
     return;
   }
-  auto issue = [this, &view, index, &device] {
+  auto issue = [this, &source, index, &device] {
     ++bunches_submitted_;
     // Concurrent packages of a bunch are submitted in parallel (§IV-A).
-    for (const auto& pkg : view.packages(index)) {
+    // For a window-backed source this is the only packages() call for
+    // this index, strictly in order — the sliding-window contract.
+    for (const auto& pkg : source.packages(index)) {
       storage::IoRequest request;
       request.id = next_id_++;
       request.sector = options_.wrap_addresses
@@ -62,7 +64,7 @@ void ReplayEngine::schedule_bunch(const trace::TraceView& view,
         monitor_.on_complete(completion);
       });
     }
-    schedule_bunch(view, index + 1, device);
+    schedule_bunch(source, index + 1, device);
   };
   // The hot loop's own event kind must never heap-allocate (§perf): the
   // closure has to fit the simulator Action's inline buffer.
@@ -80,7 +82,18 @@ ReplayReport ReplayEngine::replay(
 ReplayReport ReplayEngine::replay(
     const trace::TraceView& view, storage::BlockDevice& device,
     const std::vector<power::PowerSource*>& extra_sources) {
-  if (view.empty()) {
+  // The adapter only lives for this call; the view's shared trace outlives
+  // it. Same loop, same arithmetic, same metrics as before the source
+  // abstraction existed.
+  const trace::ViewSource source(view);
+  return replay(static_cast<const trace::TraceSource&>(source), device,
+                extra_sources);
+}
+
+ReplayReport ReplayEngine::replay(
+    const trace::TraceSource& source, storage::BlockDevice& device,
+    const std::vector<power::PowerSource*>& extra_sources) {
+  if (source.empty()) {
     throw std::invalid_argument("ReplayEngine: empty trace");
   }
   TRACER_SPAN("replay.run");
@@ -146,7 +159,7 @@ ReplayReport ReplayEngine::replay(
   // Steady state keeps one bunch event, one sampler event, and the in-
   // flight completions queued; reserve so scheduling never reallocates.
   sim_.reserve(256);
-  schedule_bunch(view, 0, device);
+  schedule_bunch(source, 0, device);
   sim_.run();
 
   const Seconds end = sim_.now();
@@ -162,7 +175,7 @@ ReplayReport ReplayEngine::replay(
   // completions that drain past the window still count. Using the drain-
   // inclusive end instead would deflate T(f) at saturation and corrupt the
   // eq. 1 load proportions.
-  Seconds trace_window = view.duration() / options_.time_scale;
+  Seconds trace_window = source.duration() / options_.time_scale;
   if (options_.max_duration > 0.0) {
     trace_window = std::min(trace_window, options_.max_duration);
   }

@@ -21,6 +21,7 @@
 #include "sim/simulator.h"
 #include "storage/block_device.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 #include "trace/trace_view.h"
 
 namespace tracer::core {
@@ -89,11 +90,20 @@ class ReplayEngine {
     return replay(trace, *device);
   }
 
-  /// Replay a view onto an existing device registered with this engine's
-  /// simulator — the zero-copy primary path: bunches are read through the
-  /// view's selection and timestamps remapped at iteration time.
-  /// `extra_sources` are metered on additional analyzer channels (per-disk
-  /// breakdowns); they must belong to the same simulation as `device`.
+  /// THE replay loop: every other overload funnels here. Bunches are read
+  /// through the source's selection and timestamps remapped at iteration
+  /// time; a window-backed source (ColumnarSource) streams them from disk
+  /// with bounded memory, an in-memory ViewSource reads them directly —
+  /// both produce bit-identical metrics for the same trace (the TraceSource
+  /// contract, trace/trace_source.h). `extra_sources` are metered on
+  /// additional analyzer channels (per-disk breakdowns); they must belong
+  /// to the same simulation as `device`.
+  ReplayReport replay(const trace::TraceSource& source,
+                      storage::BlockDevice& device,
+                      const std::vector<power::PowerSource*>& extra_sources = {});
+
+  /// Zero-copy in-memory path: wraps the view as a ViewSource for the
+  /// duration of the call.
   ReplayReport replay(const trace::TraceView& view,
                       storage::BlockDevice& device,
                       const std::vector<power::PowerSource*>& extra_sources = {});
@@ -106,7 +116,7 @@ class ReplayEngine {
   sim::Simulator& simulator() { return sim_; }
 
  private:
-  void schedule_bunch(const trace::TraceView& view, std::size_t index,
+  void schedule_bunch(const trace::TraceSource& source, std::size_t index,
                       storage::BlockDevice& device);
 
   ReplayOptions options_;

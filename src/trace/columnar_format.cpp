@@ -1,0 +1,517 @@
+#include "trace/columnar_format.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "trace/blk_format.h"
+#include "util/binary_io.h"
+
+namespace tracer::trace {
+
+namespace {
+constexpr std::size_t kHeaderSize = 8;   // magic | u16 version | u16 reserved
+constexpr std::size_t kTrailerSize = 12;  // u64 footer_offset | magic
+
+enum Segment : std::size_t {
+  kTimestamps = 0,
+  kOffsets = 1,
+  kSectors = 2,
+  kBytes = 3,
+  kOps = 4,
+};
+
+constexpr const char* kSegmentSuffix[5] = {".ts.tmp", ".off.tmp", ".sec.tmp",
+                                           ".byt.tmp", ".ops.tmp"};
+
+void put_le(unsigned char* out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_le(const unsigned char* in, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const unsigned char* in) {
+  const std::uint64_t bits = get_le(in, 8);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("read_columnar: " + what);
+}
+
+void validate_timestamp(Seconds timestamp) {
+  if (!std::isfinite(timestamp) || timestamp < 0.0) {
+    corrupt("invalid bunch timestamp (must be finite and >= 0)");
+  }
+}
+
+/// Expected segment offsets for given counts — the file skeleton is fully
+/// determined by (bunch_count, package_count), so the reader recomputes it
+/// and rejects footers that disagree.
+struct Layout {
+  std::uint64_t timestamps;
+  std::uint64_t offsets;
+  std::uint64_t sectors;
+  std::uint64_t bytes;
+  std::uint64_t ops;
+  std::uint64_t end;  ///< first byte after the ops segment
+};
+
+Layout expected_layout(std::uint64_t bunch_count, std::uint64_t package_count) {
+  Layout l{};
+  l.timestamps = kHeaderSize;
+  l.offsets = l.timestamps + bunch_count * 8;
+  l.sectors = l.offsets + (bunch_count + 1) * 8;
+  l.bytes = l.sectors + package_count * 8;
+  l.ops = l.bytes + package_count * 4;
+  l.end = l.ops + package_count;
+  return l;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ColumnarWriter
+
+ColumnarWriter::ColumnarWriter(std::string path, std::string device)
+    : path_(std::move(path)), device_(std::move(device)) {
+  for (std::size_t s = 0; s < 5; ++s) {
+    temp_paths_[s] = path_ + kSegmentSuffix[s];
+    segments_[s].open(temp_paths_[s], std::ios::binary | std::ios::trunc);
+    if (!segments_[s]) {
+      cleanup();
+      throw std::runtime_error("write_columnar: cannot open temporary " +
+                               temp_paths_[s]);
+    }
+  }
+  // pkg_offsets is a prefix-sum column with bunch_count + 1 entries; the
+  // leading zero goes out before any bunch arrives.
+  unsigned char zero[8] = {};
+  segments_[kOffsets].write(reinterpret_cast<const char*>(zero), 8);
+}
+
+ColumnarWriter::~ColumnarWriter() {
+  if (!finished_) cleanup();
+}
+
+void ColumnarWriter::cleanup() noexcept {
+  for (std::size_t s = 0; s < 5; ++s) {
+    if (segments_[s].is_open()) segments_[s].close();
+    if (!temp_paths_[s].empty()) std::remove(temp_paths_[s].c_str());
+  }
+}
+
+void ColumnarWriter::add(const Bunch& bunch) {
+  add(bunch.timestamp, bunch.packages);
+}
+
+void ColumnarWriter::add(Seconds timestamp,
+                         const std::vector<IoPackage>& packages) {
+  if (finished_) {
+    throw std::runtime_error("write_columnar: add() after finish()");
+  }
+  if (bunch_count_ >= kMaxTraceBunches) {
+    throw std::invalid_argument("write_columnar: too many bunches");
+  }
+  if (!std::isfinite(timestamp) || timestamp < 0.0) {
+    throw std::invalid_argument(
+        "write_columnar: invalid bunch timestamp (must be finite and >= 0)");
+  }
+  if (packages.size() > kMaxPackagesPerBunch) {
+    throw std::invalid_argument("write_columnar: too many packages in bunch");
+  }
+  const std::size_t n = packages.size();
+  unsigned char scalar[8];
+  std::uint64_t timestamp_bits;
+  std::memcpy(&timestamp_bits, &timestamp, sizeof(timestamp_bits));
+  put_le(scalar, timestamp_bits, 8);
+  segments_[kTimestamps].write(reinterpret_cast<const char*>(scalar), 8);
+
+  // Column-encode the packages: one contiguous buffer per segment.
+  std::vector<unsigned char> sectors(n * 8);
+  std::vector<unsigned char> bytes(n * 4);
+  std::vector<unsigned char> ops(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const IoPackage& pkg = packages[p];
+    if (pkg.bytes > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "write_columnar: package size exceeds the 32-bit field");
+    }
+    put_le(sectors.data() + p * 8, pkg.sector, 8);
+    put_le(bytes.data() + p * 4, static_cast<std::uint32_t>(pkg.bytes), 4);
+    ops[p] = static_cast<unsigned char>(pkg.op);
+  }
+  segments_[kSectors].write(reinterpret_cast<const char*>(sectors.data()),
+                            static_cast<std::streamsize>(sectors.size()));
+  segments_[kBytes].write(reinterpret_cast<const char*>(bytes.data()),
+                          static_cast<std::streamsize>(bytes.size()));
+  segments_[kOps].write(reinterpret_cast<const char*>(ops.data()),
+                        static_cast<std::streamsize>(ops.size()));
+
+  package_count_ += n;
+  ++bunch_count_;
+  put_le(scalar, package_count_, 8);
+  segments_[kOffsets].write(reinterpret_cast<const char*>(scalar), 8);
+
+  for (std::size_t s = 0; s < 5; ++s) {
+    if (!segments_[s].good()) {
+      throw std::runtime_error("write_columnar: segment write failed");
+    }
+  }
+}
+
+void ColumnarWriter::append_segment(std::ofstream& out, std::size_t index) {
+  segments_[index].close();
+  std::ifstream in(temp_paths_[index], std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("write_columnar: cannot reopen temporary " +
+                             temp_paths_[index]);
+  }
+  // Chunked copy (an rdbuf() splice would fail-bit on empty segments).
+  char buffer[1 << 16];
+  while (in) {
+    in.read(buffer, sizeof(buffer));
+    const std::streamsize got = in.gcount();
+    if (got > 0) out.write(buffer, got);
+  }
+  if (in.bad() || !out.good()) {
+    throw std::runtime_error("write_columnar: segment copy failed");
+  }
+}
+
+void ColumnarWriter::finish() {
+  if (finished_) {
+    throw std::runtime_error("write_columnar: finish() called twice");
+  }
+  try {
+    for (std::size_t s = 0; s < 5; ++s) {
+      segments_[s].flush();
+      if (!segments_[s].good()) {
+        throw std::runtime_error("write_columnar: segment write failed");
+      }
+    }
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_columnar: cannot open " + path_);
+    }
+    util::BinaryWriter writer(out);
+    writer.raw(kColumnarMagic, sizeof(kColumnarMagic));
+    writer.u16(kColumnarVersion);
+    writer.u16(0);  // reserved
+
+    const Layout layout = expected_layout(bunch_count_, package_count_);
+    const std::uint64_t expected_after[5] = {layout.offsets, layout.sectors,
+                                             layout.bytes, layout.ops,
+                                             layout.end};
+    for (std::size_t s = 0; s < 5; ++s) {
+      append_segment(out, s);
+      if (static_cast<std::uint64_t>(out.tellp()) != expected_after[s]) {
+        throw std::runtime_error(
+            "write_columnar: segment size mismatch while stitching");
+      }
+    }
+
+    const std::uint64_t footer_offset = layout.end;
+    writer.str(device_);
+    writer.u64(bunch_count_);
+    writer.u64(package_count_);
+    writer.u64(layout.timestamps);
+    writer.u64(layout.offsets);
+    writer.u64(layout.sectors);
+    writer.u64(layout.bytes);
+    writer.u64(layout.ops);
+    writer.u64(footer_offset);
+    writer.raw(kColumnarTrailerMagic, sizeof(kColumnarTrailerMagic));
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("write_columnar: stream write failed");
+    }
+  } catch (...) {
+    cleanup();
+    std::remove(path_.c_str());
+    throw;
+  }
+  finished_ = true;
+  cleanup();
+}
+
+void write_columnar_file(const std::string& path, const Trace& trace) {
+  ColumnarWriter writer(path, trace.device);
+  for (const auto& bunch : trace.bunches) {
+    writer.add(bunch);
+  }
+  writer.finish();
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarTraceReader
+
+ColumnarTraceReader::ColumnarTraceReader(const std::string& path)
+    : map_(path) {
+  const unsigned char* base = map_.data();
+  const std::uint64_t size = map_.size();
+  if (size < kHeaderSize + kTrailerSize) {
+    corrupt("file too small for a v2 trace");
+  }
+  if (std::memcmp(base, kColumnarMagic, sizeof(kColumnarMagic)) != 0) {
+    corrupt("bad magic (not a .replay2 trace)");
+  }
+  const auto version = static_cast<std::uint16_t>(get_le(base + 4, 2));
+  if (version != kColumnarVersion) {
+    corrupt("unsupported version " + std::to_string(version));
+  }
+
+  const unsigned char* trailer = base + size - kTrailerSize;
+  if (std::memcmp(trailer + 8, kColumnarTrailerMagic,
+                  sizeof(kColumnarTrailerMagic)) != 0) {
+    corrupt("bad trailer magic (truncated file?)");
+  }
+  const std::uint64_t footer_offset = get_le(trailer, 8);
+  if (footer_offset < kHeaderSize || footer_offset > size - kTrailerSize) {
+    corrupt("footer offset out of range");
+  }
+
+  // Parse the footer with explicit bounds: device string, counts, offsets.
+  std::uint64_t cursor = footer_offset;
+  const std::uint64_t footer_end = size - kTrailerSize;
+  const auto need = [&](std::uint64_t bytes) {
+    if (footer_end - cursor < bytes) corrupt("truncated footer");
+  };
+  need(4);
+  const std::uint64_t device_len = get_le(base + cursor, 4);
+  cursor += 4;
+  if (device_len > (1u << 20)) corrupt("implausible device name length");
+  need(device_len);
+  device_.assign(reinterpret_cast<const char*>(base + cursor),
+                 static_cast<std::size_t>(device_len));
+  cursor += device_len;
+  need(8 * 7);  // bunch_count, package_count, 5 segment offsets
+  bunch_count_ = get_le(base + cursor, 8);
+  package_count_ = get_le(base + cursor + 8, 8);
+  cursor += 16;
+  if (bunch_count_ > kMaxTraceBunches) corrupt("implausible bunch count");
+  if (package_count_ >
+      bunch_count_ * static_cast<std::uint64_t>(kMaxPackagesPerBunch)) {
+    corrupt("implausible package count");
+  }
+
+  const Layout layout = expected_layout(bunch_count_, package_count_);
+  const std::uint64_t stored[5] = {
+      get_le(base + cursor, 8),      get_le(base + cursor + 8, 8),
+      get_le(base + cursor + 16, 8), get_le(base + cursor + 24, 8),
+      get_le(base + cursor + 32, 8)};
+  cursor += 40;
+  if (cursor != footer_end) corrupt("footer size mismatch");
+  if (stored[0] != layout.timestamps || stored[1] != layout.offsets ||
+      stored[2] != layout.sectors || stored[3] != layout.bytes ||
+      stored[4] != layout.ops) {
+    corrupt("segment offsets disagree with the declared counts");
+  }
+  if (footer_offset != layout.end) {
+    corrupt("segments do not fill the space before the footer");
+  }
+  timestamps_off_ = layout.timestamps;
+  offsets_off_ = layout.offsets;
+  sectors_off_ = layout.sectors;
+  bytes_off_ = layout.bytes;
+  ops_off_ = layout.ops;
+
+  // Index integrity: the prefix-sum column must start at 0, never decrease,
+  // never jump by more than a bunch can hold, and land exactly on the
+  // package count. One sequential scan at open; windows trust it after.
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i <= bunch_count_; ++i) {
+    const std::uint64_t off = pkg_offset(i);
+    if (i == 0 && off != 0) corrupt("package index does not start at 0");
+    if (off < previous) corrupt("package index decreases");
+    if (off - previous > kMaxPackagesPerBunch) {
+      corrupt("implausible package count in bunch");
+    }
+    previous = off;
+  }
+  if (previous != package_count_) {
+    corrupt("package index does not sum to the package count");
+  }
+}
+
+std::uint64_t ColumnarTraceReader::pkg_offset(std::uint64_t i) const {
+  return get_le(map_.data() + offsets_off_ + i * 8, 8);
+}
+
+Seconds ColumnarTraceReader::timestamp(std::uint64_t i) const {
+  if (i >= bunch_count_) {
+    throw std::out_of_range("read_columnar: bunch index out of range");
+  }
+  const Seconds ts = get_f64(map_.data() + timestamps_off_ + i * 8);
+  validate_timestamp(ts);
+  return ts;
+}
+
+std::uint32_t ColumnarTraceReader::packages_in_bunch(std::uint64_t i) const {
+  if (i >= bunch_count_) {
+    throw std::out_of_range("read_columnar: bunch index out of range");
+  }
+  return static_cast<std::uint32_t>(pkg_offset(i + 1) - pkg_offset(i));
+}
+
+void ColumnarTraceReader::read_window(std::uint64_t first, std::uint64_t count,
+                                      std::vector<Bunch>& out) const {
+  if (first > bunch_count_ || count > bunch_count_ - first) {
+    throw std::out_of_range("read_columnar: window out of range");
+  }
+  out.clear();
+  out.resize(static_cast<std::size_t>(count));
+  const unsigned char* base = map_.data();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t b = first + i;
+    Bunch& bunch = out[static_cast<std::size_t>(i)];
+    bunch.timestamp = get_f64(base + timestamps_off_ + b * 8);
+    validate_timestamp(bunch.timestamp);
+    const std::uint64_t begin = pkg_offset(b);
+    const std::uint64_t end = pkg_offset(b + 1);
+    bunch.packages.resize(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t p = begin; p < end; ++p) {
+      IoPackage& pkg = bunch.packages[static_cast<std::size_t>(p - begin)];
+      pkg.sector = get_le(base + sectors_off_ + p * 8, 8);
+      pkg.bytes = get_le(base + bytes_off_ + p * 4, 4);
+      const unsigned char op = base[ops_off_ + p];
+      if (op > 1) corrupt("bad op code");
+      pkg.op = static_cast<OpType>(op);
+    }
+  }
+}
+
+Bytes ColumnarTraceReader::total_bytes() const {
+  const unsigned char* base = map_.data();
+  Bytes total = 0;
+  for (std::uint64_t p = 0; p < package_count_; ++p) {
+    total += get_le(base + bytes_off_ + p * 4, 4);
+  }
+  return total;
+}
+
+double ColumnarTraceReader::read_ratio() const {
+  if (package_count_ == 0) return 0.0;
+  const unsigned char* base = map_.data();
+  std::uint64_t reads = 0;
+  for (std::uint64_t p = 0; p < package_count_; ++p) {
+    if (base[ops_off_ + p] == 0) ++reads;
+  }
+  return static_cast<double>(reads) / static_cast<double>(package_count_);
+}
+
+void ColumnarTraceReader::advise_consumed(std::uint64_t first,
+                                          std::uint64_t count) const {
+  if (first > bunch_count_ || count > bunch_count_ - first || count == 0) {
+    return;
+  }
+  const std::uint64_t pkg_begin = pkg_offset(first);
+  const std::uint64_t pkg_end = pkg_offset(first + count);
+  map_.advise_dont_need(timestamps_off_ + first * 8, count * 8);
+  map_.advise_dont_need(offsets_off_ + first * 8, count * 8);
+  map_.advise_dont_need(sectors_off_ + pkg_begin * 8, (pkg_end - pkg_begin) * 8);
+  map_.advise_dont_need(bytes_off_ + pkg_begin * 4, (pkg_end - pkg_begin) * 4);
+  map_.advise_dont_need(ops_off_ + pkg_begin, pkg_end - pkg_begin);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarSource
+
+ColumnarSource::ColumnarSource(
+    std::shared_ptr<const ColumnarTraceReader> reader)
+    : ColumnarSource(std::move(reader), Options{}) {}
+
+ColumnarSource::ColumnarSource(
+    std::shared_ptr<const ColumnarTraceReader> reader, Options options)
+    : reader_(std::move(reader)), options_(options) {
+  if (reader_ == nullptr) {
+    throw std::invalid_argument("ColumnarSource: null reader");
+  }
+  if (options_.window_bunches == 0) options_.window_bunches = 1;
+}
+
+void ColumnarSource::load_window(std::size_t first) const {
+  if (options_.evict_consumed && window_end_ > window_begin_ &&
+      first >= window_end_) {
+    // Strictly-forward consumption: the old window will not be revisited.
+    reader_->advise_consumed(window_begin_, window_end_ - window_begin_);
+  }
+  const std::uint64_t total = reader_->bunch_count();
+  const std::uint64_t count =
+      std::min<std::uint64_t>(options_.window_bunches, total - first);
+  reader_->read_window(first, count, window_);
+  window_begin_ = first;
+  window_end_ = first + count;
+}
+
+const std::vector<IoPackage>& ColumnarSource::packages(std::size_t i) const {
+  if (i >= reader_->bunch_count()) {
+    throw std::out_of_range("ColumnarSource: bunch index out of range");
+  }
+  if (i < window_begin_ || i >= window_end_) {
+    load_window(i);
+  }
+  return window_[i - window_begin_].packages;
+}
+
+std::shared_ptr<const TraceSource> open_columnar_source(
+    const std::string& path, ColumnarSource::Options options) {
+  auto reader = std::make_shared<const ColumnarTraceReader>(path);
+  return std::make_shared<ColumnarSource>(std::move(reader), options);
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+
+std::uint64_t convert_blk_to_columnar(const std::string& v1_path,
+                                      const std::string& v2_path) {
+  std::ifstream in(v1_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("convert: cannot open " + v1_path);
+  }
+  BlkStreamReader reader(in);
+  ColumnarWriter writer(v2_path, reader.device());
+  Bunch bunch;
+  while (reader.next(bunch)) {
+    writer.add(bunch);
+  }
+  writer.finish();
+  return writer.bunch_count();
+}
+
+std::uint64_t convert_columnar_to_blk(const std::string& v2_path,
+                                      const std::string& v1_path) {
+  ColumnarTraceReader reader(v2_path);
+  std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("convert: cannot open " + v1_path);
+  }
+  BlkStreamWriter writer(out, reader.device(), reader.bunch_count());
+  constexpr std::uint64_t kWindow = 4096;
+  std::vector<Bunch> window;
+  for (std::uint64_t first = 0; first < reader.bunch_count();
+       first += kWindow) {
+    const std::uint64_t count =
+        std::min(kWindow, reader.bunch_count() - first);
+    reader.read_window(first, count, window);
+    for (const Bunch& bunch : window) {
+      writer.add(bunch);
+    }
+    reader.advise_consumed(first, count);
+  }
+  writer.finish();
+  return reader.bunch_count();
+}
+
+}  // namespace tracer::trace

@@ -1,0 +1,169 @@
+// TraceSource — the common streaming abstraction under the replay pipeline.
+//
+// A TraceSource is an ordered sequence of bunches addressed by position,
+// with the same lazy timestamp remapping contract as TraceView: every
+// implementation stores *raw* trace timestamps and a single accumulated
+// time divisor, and `timestamp(i)` is always exactly
+// `raw_timestamp(i) / time_divisor()`. Because the in-memory view path
+// (ViewSource over a TraceView) and the on-disk columnar path
+// (ColumnarSource over a mmap'd v2 file) perform the identical arithmetic
+// and feed the identical replay loop in ReplayEngine, the two paths
+// produce bit-identical replay metrics for the same underlying trace —
+// tests/test_trace_source.cpp holds that line.
+//
+// Bounded memory: `packages(i)` may be backed by a sliding decode window
+// (ColumnarSource); the returned reference stays valid only until the next
+// `packages()` call on a different position. The replay engine consumes
+// positions strictly in order and never holds a reference across bunches,
+// so a whole-trace replay touches at most one window of RAM at a time.
+//
+// Thread model: a TraceSource is confined to the replaying thread (window
+// caches are mutated under const). Share the underlying immutable data
+// (Trace, ColumnarTraceReader) across threads instead, and give each
+// replay its own source object — mirroring how EvaluationHost hands each
+// test its own TraceView over the shared peak trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "trace/trace_view.h"
+
+namespace tracer::trace {
+
+class TraceSource {
+ public:
+  /// Selection index type, shared with TraceView (formats cap traces at
+  /// 2^32 bunches, so positions always fit).
+  using Index = std::uint32_t;
+
+  virtual ~TraceSource() = default;
+
+  virtual const std::string& device() const = 0;
+
+  /// Number of selected bunches.
+  virtual std::size_t bunch_count() const = 0;
+
+  /// Underlying (unscaled) arrival time of the i-th selected bunch.
+  virtual Seconds raw_timestamp(std::size_t i) const = 0;
+
+  /// Accumulated intensity divisor (timestamps are divided by it).
+  virtual double time_divisor() const { return 1.0; }
+
+  /// Packages of the i-th selected bunch. May repoint an internal decode
+  /// window: the reference is invalidated by the next packages() call for
+  /// a position outside the current window.
+  virtual const std::vector<IoPackage>& packages(std::size_t i) const = 0;
+
+  /// Total packages over the selection (may stream; O(selection) worst
+  /// case, O(1) for whole-file columnar sources).
+  virtual std::uint64_t package_count() const = 0;
+
+  /// Total payload bytes over the selection.
+  virtual Bytes total_bytes() const = 0;
+
+  /// Fraction of selected packages that are reads.
+  virtual double read_ratio() const = 0;
+
+  /// Replay-clock arrival time — the exact TraceView::timestamp formula.
+  Seconds timestamp(std::size_t i) const {
+    return raw_timestamp(i) / time_divisor();
+  }
+
+  /// Duration through the last selected bunch, in the scaled time domain.
+  Seconds duration() const {
+    const std::size_t count = bunch_count();
+    return count == 0 ? 0.0 : timestamp(count - 1);
+  }
+
+  bool empty() const { return bunch_count() == 0; }
+
+  /// Mean package size in bytes over the selection (0 when empty).
+  double mean_request_size() const;
+};
+
+/// Adapter satisfying TraceSource over a TraceView — the in-memory side of
+/// the shared replay loop. Stateless beyond the (cheap, immutable) view,
+/// so unlike window-backed sources it is safe to read concurrently.
+class ViewSource final : public TraceSource {
+ public:
+  explicit ViewSource(TraceView view) : view_(std::move(view)) {}
+
+  const std::string& device() const override { return view_.device(); }
+  std::size_t bunch_count() const override { return view_.bunch_count(); }
+  Seconds raw_timestamp(std::size_t i) const override {
+    return view_.bunch(i).timestamp;
+  }
+  double time_divisor() const override { return view_.time_divisor(); }
+  const std::vector<IoPackage>& packages(std::size_t i) const override {
+    return view_.packages(i);
+  }
+  std::uint64_t package_count() const override {
+    return view_.package_count();
+  }
+  Bytes total_bytes() const override { return view_.total_bytes(); }
+  double read_ratio() const override { return view_.read_ratio(); }
+
+  const TraceView& view() const { return view_; }
+
+ private:
+  TraceView view_;
+};
+
+/// Lazy selection/scaling decorator over any TraceSource — the streaming
+/// counterpart of TraceView::select/scaled. ProportionalFilter and
+/// InterarrivalScaler build these, so filtering a multi-GB columnar trace
+/// costs one u32 index vector (O(selection)), never a decoded copy.
+class TraceSlice final : public TraceSource {
+ public:
+  /// Restrict `base` to `positions` — strictly increasing indices into
+  /// base's current selection (same composition rule as TraceView::select).
+  static std::shared_ptr<const TraceSource> select(
+      std::shared_ptr<const TraceSource> base, std::vector<Index> positions);
+
+  /// Multiply replay intensity by `factor` (> 0).
+  static std::shared_ptr<const TraceSource> scaled(
+      std::shared_ptr<const TraceSource> base, double factor);
+
+  const std::string& device() const override { return base_->device(); }
+  std::size_t bunch_count() const override {
+    return select_all_ ? base_->bunch_count() : selection_.size();
+  }
+  Seconds raw_timestamp(std::size_t i) const override {
+    return base_->raw_timestamp(map(i));
+  }
+  double time_divisor() const override { return divisor_; }
+  const std::vector<IoPackage>& packages(std::size_t i) const override {
+    return base_->packages(map(i));
+  }
+  std::uint64_t package_count() const override;
+  Bytes total_bytes() const override;
+  double read_ratio() const override;
+
+ private:
+  TraceSlice(std::shared_ptr<const TraceSource> base,
+             std::vector<Index> positions, bool select_all, double divisor);
+
+  std::size_t map(std::size_t i) const {
+    return select_all_ ? i : selection_[i];
+  }
+
+  std::shared_ptr<const TraceSource> base_;
+  std::vector<Index> selection_;  ///< meaningful when !select_all_
+  bool select_all_ = false;
+  double divisor_ = 1.0;  ///< full accumulated divisor (base included)
+};
+
+/// Wrap a view as a shared source (the common entry into the streaming
+/// filter/scale pipeline for in-memory traces).
+std::shared_ptr<const TraceSource> make_source(TraceView view);
+
+/// Deep-copy a source's selection into a plain Trace with remapped
+/// timestamps — the TraceView::materialize of the streaming world. Only
+/// call when the result is known to fit in memory.
+Trace materialize(const TraceSource& source);
+
+}  // namespace tracer::trace

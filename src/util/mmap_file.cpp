@@ -1,0 +1,99 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace tracer::util {
+
+namespace {
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("MappedFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("MappedFile: cannot stat " + path + ": " +
+                             std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // empty file: valid zero-length mapping
+  }
+  void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapped == MAP_FAILED) {
+    size_ = 0;
+    throw std::runtime_error("MappedFile: mmap failed for " + path + ": " +
+                             std::strerror(err));
+  }
+  data_ = static_cast<const unsigned char*>(mapped);
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::advise_sequential(std::size_t offset,
+                                   std::size_t length) const {
+  if (data_ == nullptr || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  const std::size_t page = page_size();
+  const std::size_t begin = offset / page * page;
+  ::madvise(const_cast<unsigned char*>(data_) + begin,
+            length + (offset - begin), MADV_SEQUENTIAL);
+}
+
+void MappedFile::advise_dont_need(std::size_t offset,
+                                  std::size_t length) const {
+  if (data_ == nullptr || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  const std::size_t page = page_size();
+  // Shrink to whole pages strictly inside the range: partially covered
+  // boundary pages may still hold live neighbouring data.
+  const std::size_t begin = (offset + page - 1) / page * page;
+  const std::size_t end = (offset + length) / page * page;
+  if (end <= begin) return;
+  ::madvise(const_cast<unsigned char*>(data_) + begin, end - begin,
+            MADV_DONTNEED);
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,52 @@
+// Read-only memory-mapped file (POSIX mmap) for the columnar trace format:
+// the v2 reader maps the whole file once and decodes windows straight out
+// of the mapping instead of pulling bytes through an istream.
+//
+// Streaming-friendly: `advise_dont_need` lets a sequential consumer tell
+// the kernel that a consumed byte range will not be touched again, so the
+// pages can leave the process's resident set (they stay in the page cache
+// and re-fault transparently on a later access). This is what keeps the
+// RSS of a multi-GB streamed replay bounded by the reader window, not the
+// trace size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tracer::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Maps `path` read-only; throws std::runtime_error when the file cannot
+  /// be opened, stat'ed, or mapped. An empty file maps to {nullptr, 0}.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+
+  /// Hint that [offset, offset+length) will be read front to back
+  /// (readahead-friendly). Best effort; errors are ignored.
+  void advise_sequential(std::size_t offset, std::size_t length) const;
+
+  /// Hint that [offset, offset+length) has been consumed and may be
+  /// evicted from the resident set. The range is shrunk to whole pages
+  /// inside the mapping; re-reading evicted bytes later is still valid
+  /// (they re-fault from the page cache / file). Best effort.
+  void advise_dont_need(std::size_t offset, std::size_t length) const;
+
+ private:
+  void reset() noexcept;
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tracer::util

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
+
+#include "trace/trace_source.h"
 
 namespace tracer::trace {
 namespace {
@@ -95,6 +98,129 @@ TEST_F(RepositoryTest, CreatesDirectoryOnConstruction) {
   EXPECT_FALSE(std::filesystem::exists(dir_));
   TraceRepository repo(dir_ / "nested" / "deeper");
   EXPECT_TRUE(std::filesystem::exists(dir_ / "nested" / "deeper"));
+}
+
+// --- verified bijection -----------------------------------------------------
+
+// Property: every encodable key survives file_name() -> parse() unchanged,
+// including irregular request sizes that don't collapse to a K/M/G suffix.
+TEST(TraceKey, BijectionHoldsForIrregularKeys) {
+  const Bytes sizes[] = {1,       512,        513,
+                         1023,    1234567,    1048576,
+                         1048577, 4096,       std::uint64_t{1} << 40,
+                         std::numeric_limits<std::uint32_t>::max()};
+  const char* devices[] = {"d", "raid5-hdd6", "dev_with_underscore",
+                           "a-b_c-d", "x0123456789"};
+  for (const char* device : devices) {
+    for (const Bytes size : sizes) {
+      for (const int rnd : {0, 1, 50, 99, 100}) {
+        for (const int rd : {0, 100}) {
+          const TraceKey key{device, size, rnd, rd};
+          const auto parsed = TraceKey::parse(key.file_name());
+          ASSERT_TRUE(parsed.has_value()) << key.file_name();
+          EXPECT_EQ(*parsed, key) << key.file_name();
+        }
+      }
+    }
+  }
+}
+
+TEST(TraceKey, FileNameRejectsUnencodableKeys) {
+  EXPECT_THROW((TraceKey{"", 4096, 50, 0}.file_name()), std::invalid_argument);
+  EXPECT_THROW((TraceKey{"a/b", 4096, 50, 0}.file_name()),
+               std::invalid_argument);
+  EXPECT_THROW((TraceKey{"a\\b", 4096, 50, 0}.file_name()),
+               std::invalid_argument);
+  EXPECT_THROW((TraceKey{"dev", 4096, -1, 0}.file_name()),
+               std::invalid_argument);
+  EXPECT_THROW((TraceKey{"dev", 4096, 101, 0}.file_name()),
+               std::invalid_argument);
+  EXPECT_THROW((TraceKey{"dev", 4096, 0, -1}.file_name()),
+               std::invalid_argument);
+  EXPECT_THROW((TraceKey{"dev", 4096, 0, 101}.file_name()),
+               std::invalid_argument);
+}
+
+// parse() accepts only the canonical encoding: a name that decodes but
+// re-encodes differently (wrong case, leading zeros) is foreign, so
+// parse(file_name(key)) == key is a true bijection, not just a retraction.
+TEST(TraceKey, ParseRejectsNonCanonicalEncodings) {
+  ASSERT_TRUE(TraceKey::parse("dev_rs4K_rnd50_rd25.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("dev_rs4k_rnd50_rd25.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("dev_rs4096_rnd50_rd25.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("dev_rs4K_rnd050_rd25.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("dev_rs4K_rnd50_rd025.replay").has_value());
+  EXPECT_FALSE(TraceKey::parse("dev_rs04K_rnd50_rd25.replay").has_value());
+}
+
+TEST(TraceKey, ColumnarFileNameSharesStem) {
+  const TraceKey key{"raid5-hdd6", 4096, 50, 25};
+  EXPECT_EQ(key.columnar_file_name(), "raid5-hdd6_rs4K_rnd50_rd25.replay2");
+  const auto parsed = TraceKey::parse(key.columnar_file_name());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, key);
+}
+
+// --- columnar entries -------------------------------------------------------
+
+TEST_F(RepositoryTest, ColumnarStoreLoadRoundTrip) {
+  TraceRepository repo(dir_);
+  const TraceKey key{"raid5-hdd6", 4096, 50, 0};
+  const Trace trace = tiny_trace();
+  EXPECT_FALSE(repo.contains_columnar(key));
+  repo.store_columnar(key, trace);
+  EXPECT_TRUE(repo.contains_columnar(key));
+  EXPECT_FALSE(repo.contains(key));  // no v1 entry was created
+  EXPECT_EQ(repo.load(key), trace);  // load falls back to the v2 entry
+}
+
+TEST_F(RepositoryTest, LoadSourceStreamsColumnarEntry) {
+  TraceRepository repo(dir_);
+  const TraceKey key{"raid5-hdd6", 4096, 0, 100};
+  repo.store_columnar(key, tiny_trace());
+  const auto source = repo.load_source(key);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(materialize(*source), tiny_trace());
+}
+
+TEST_F(RepositoryTest, LoadSourceFallsBackToV1) {
+  TraceRepository repo(dir_);
+  const TraceKey key{"raid5-hdd6", 4096, 0, 0};
+  repo.store(key, tiny_trace());
+  const auto source = repo.load_source(key);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(materialize(*source), tiny_trace());
+  EXPECT_THROW(repo.load_source(TraceKey{"missing", 512, 0, 0}),
+               std::runtime_error);
+}
+
+TEST_F(RepositoryTest, ConvertToColumnarAndBack) {
+  TraceRepository repo(dir_);
+  const TraceKey key{"raid5-hdd6", 4096, 50, 50};
+  const Trace trace = tiny_trace();
+  repo.store(key, trace);
+  EXPECT_EQ(repo.convert_to_columnar(key), trace.bunch_count());
+  EXPECT_TRUE(repo.contains_columnar(key));
+  // Second call without overwrite is a no-op that reports the entry size.
+  EXPECT_EQ(repo.convert_to_columnar(key), trace.bunch_count());
+  std::filesystem::remove(repo.path_for(key));
+  EXPECT_FALSE(repo.contains(key));
+  EXPECT_EQ(repo.convert_to_blk(key), trace.bunch_count());
+  EXPECT_TRUE(repo.contains(key));
+  EXPECT_EQ(repo.load(key), trace);
+}
+
+TEST_F(RepositoryTest, ListDedupsFormatsAndIncludesColumnarOnly) {
+  TraceRepository repo(dir_);
+  const TraceKey both{"b", 4096, 50, 0};
+  repo.store(both, tiny_trace());
+  repo.store_columnar(both, tiny_trace());
+  const TraceKey v2_only{"a", 512, 0, 100};
+  repo.store_columnar(v2_only, tiny_trace());
+  const auto keys = repo.list();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], v2_only);
+  EXPECT_EQ(keys[1], both);
 }
 
 }  // namespace

@@ -1,0 +1,299 @@
+#include "trace/trace_source.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/interarrival_scaler.h"
+#include "core/proportional_filter.h"
+#include "core/replay_engine.h"
+#include "storage/disk_array.h"
+#include "trace/columnar_format.h"
+#include "trace/trace_view.h"
+#include "util/rng.h"
+
+namespace tracer::trace {
+namespace {
+
+Trace random_trace(std::size_t bunches, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Trace trace;
+  trace.device = "raid5-hdd6";
+  double t = 0.0;
+  for (std::size_t b = 0; b < bunches; ++b) {
+    Bunch bunch;
+    t += rng.uniform(0.2e-3, 2e-3);
+    bunch.timestamp = t;
+    const std::size_t count = 1 + rng.below(5);
+    for (std::size_t p = 0; p < count; ++p) {
+      IoPackage pkg;
+      pkg.sector = rng.below(1ULL << 34) * 8;
+      pkg.bytes = (1 + rng.below(64)) * 512;
+      pkg.op = rng.chance(0.5) ? OpType::kRead : OpType::kWrite;
+      bunch.packages.push_back(pkg);
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+std::shared_ptr<const Trace> shared_trace(std::size_t bunches,
+                                          std::uint64_t seed) {
+  return std::make_shared<const Trace>(random_trace(bunches, seed));
+}
+
+/// Bit-identical comparison of the metrics both replay paths must agree
+/// on. EXPECT_EQ on doubles is deliberate: the TraceSource contract
+/// promises the *identical* arithmetic, not merely a close result.
+void expect_reports_identical(const core::ReplayReport& a,
+                              const core::ReplayReport& b) {
+  EXPECT_EQ(a.bunches_replayed, b.bunches_replayed);
+  EXPECT_EQ(a.packages_replayed, b.packages_replayed);
+  EXPECT_EQ(a.perf.completions, b.perf.completions);
+  EXPECT_EQ(a.perf.bytes, b.perf.bytes);
+  EXPECT_EQ(a.perf.duration, b.perf.duration);
+  EXPECT_EQ(a.perf.iops, b.perf.iops);
+  EXPECT_EQ(a.perf.mbps, b.perf.mbps);
+  EXPECT_EQ(a.perf.avg_response_ms, b.perf.avg_response_ms);
+  EXPECT_EQ(a.perf.p95_response_ms, b.perf.p95_response_ms);
+  EXPECT_EQ(a.avg_watts, b.avg_watts);
+  EXPECT_EQ(a.avg_true_watts, b.avg_true_watts);
+  EXPECT_EQ(a.joules, b.joules);
+  EXPECT_EQ(a.replay_duration, b.replay_duration);
+}
+
+core::ReplayReport replay_source(const TraceSource& source) {
+  core::ReplayEngine engine;
+  storage::DiskArray array(engine.simulator(),
+                           storage::ArrayConfig::hdd_testbed(6));
+  return engine.replay(source, array);
+}
+
+core::ReplayReport replay_view(const TraceView& view) {
+  core::ReplayEngine engine;
+  storage::DiskArray array(engine.simulator(),
+                           storage::ArrayConfig::hdd_testbed(6));
+  return engine.replay(view, array);
+}
+
+TEST(ViewSourceTest, MirrorsViewExactly) {
+  const auto trace = shared_trace(120, 1);
+  const TraceView view(trace);
+  const ViewSource source(view);
+  ASSERT_EQ(source.bunch_count(), view.bunch_count());
+  EXPECT_EQ(source.device(), view.device());
+  EXPECT_EQ(source.package_count(), view.package_count());
+  EXPECT_EQ(source.total_bytes(), view.total_bytes());
+  EXPECT_EQ(source.read_ratio(), view.read_ratio());
+  EXPECT_EQ(source.time_divisor(), view.time_divisor());
+  EXPECT_EQ(source.duration(), view.duration());
+  EXPECT_EQ(source.mean_request_size(), view.mean_request_size());
+  for (std::size_t i = 0; i < source.bunch_count(); ++i) {
+    EXPECT_EQ(source.raw_timestamp(i), view.bunch(i).timestamp);
+    EXPECT_EQ(source.timestamp(i), view.timestamp(i));
+    EXPECT_EQ(&source.packages(i), &view.packages(i));  // zero-copy
+  }
+}
+
+TEST(ViewSourceTest, EmptySource) {
+  const auto trace = std::make_shared<const Trace>();
+  const ViewSource source{TraceView(trace)};
+  EXPECT_TRUE(source.empty());
+  EXPECT_EQ(source.duration(), 0.0);
+  EXPECT_EQ(source.mean_request_size(), 0.0);
+}
+
+TEST(TraceSliceTest, SelectMatchesViewSelect) {
+  const auto trace = shared_trace(100, 2);
+  const TraceView view(trace);
+  const std::vector<TraceSource::Index> positions = {0, 3, 4, 10, 55, 99};
+  const TraceView selected_view = view.select(positions);
+  const auto selected_source =
+      TraceSlice::select(make_source(view), positions);
+  ASSERT_EQ(selected_source->bunch_count(), selected_view.bunch_count());
+  for (std::size_t i = 0; i < selected_view.bunch_count(); ++i) {
+    EXPECT_EQ(selected_source->timestamp(i), selected_view.timestamp(i));
+    EXPECT_EQ(selected_source->packages(i), selected_view.packages(i));
+  }
+  EXPECT_EQ(selected_source->package_count(), selected_view.package_count());
+  EXPECT_EQ(selected_source->total_bytes(), selected_view.total_bytes());
+  EXPECT_EQ(selected_source->read_ratio(), selected_view.read_ratio());
+}
+
+TEST(TraceSliceTest, SelectRejectsBadPositions) {
+  const auto source = make_source(TraceView(shared_trace(10, 3)));
+  EXPECT_THROW(TraceSlice::select(source, {3, 3}), std::invalid_argument);
+  EXPECT_THROW(TraceSlice::select(source, {5, 4}), std::invalid_argument);
+  EXPECT_THROW(TraceSlice::select(source, {10}), std::invalid_argument);
+  EXPECT_THROW(TraceSlice::select(nullptr, {0}), std::invalid_argument);
+}
+
+TEST(TraceSliceTest, ScaledMatchesViewScaledBitExactly) {
+  const auto trace = shared_trace(80, 4);
+  const TraceView view(trace);
+  // Compose scale(select(scale(...))) identically on both paths: the
+  // divisor must accumulate in the same multiplication order so every
+  // timestamp comes out bit-identical.
+  const std::vector<TraceSource::Index> positions = {1, 7, 20, 21, 63};
+  const TraceView v = view.scaled(3.7).select(positions).scaled(0.25);
+  auto s = TraceSlice::scaled(make_source(view), 3.7);
+  s = TraceSlice::select(std::move(s), positions);
+  s = TraceSlice::scaled(std::move(s), 0.25);
+  ASSERT_EQ(s->bunch_count(), v.bunch_count());
+  EXPECT_EQ(s->time_divisor(), v.time_divisor());
+  for (std::size_t i = 0; i < v.bunch_count(); ++i) {
+    EXPECT_EQ(s->timestamp(i), v.timestamp(i)) << i;
+  }
+  EXPECT_EQ(s->duration(), v.duration());
+}
+
+TEST(TraceSliceTest, ScaledRejectsNonPositiveFactor) {
+  const auto source = make_source(TraceView(shared_trace(5, 5)));
+  EXPECT_THROW(TraceSlice::scaled(source, 0.0), std::invalid_argument);
+  EXPECT_THROW(TraceSlice::scaled(source, -1.0), std::invalid_argument);
+}
+
+TEST(TraceSourceTest, MaterializeReproducesSelection) {
+  const auto trace = shared_trace(60, 6);
+  const TraceView view(trace);
+  const std::vector<TraceSource::Index> positions = {0, 2, 30, 59};
+  const TraceView selected = view.select(positions).scaled(2.0);
+  const auto source =
+      TraceSlice::scaled(TraceSlice::select(make_source(view), positions), 2.0);
+  EXPECT_EQ(materialize(*source), selected.materialize());
+}
+
+TEST(FilterSourceTest, FilterSelectsIdenticalBunchesAsViewPath) {
+  const auto trace = shared_trace(200, 7);
+  const TraceView view(trace);
+  for (const double proportion : {0.1, 0.3, 0.5, 1.0}) {
+    const TraceView filtered_view =
+        core::ProportionalFilter::apply(view, proportion);
+    const auto filtered_source =
+        core::ProportionalFilter::apply(make_source(view), proportion);
+    ASSERT_EQ(filtered_source->bunch_count(), filtered_view.bunch_count())
+        << proportion;
+    for (std::size_t i = 0; i < filtered_view.bunch_count(); ++i) {
+      EXPECT_EQ(filtered_source->timestamp(i), filtered_view.timestamp(i));
+      EXPECT_EQ(filtered_source->packages(i), filtered_view.packages(i));
+    }
+  }
+}
+
+TEST(FilterSourceTest, RandomFilterSameSeedSamePositions) {
+  const auto trace = shared_trace(150, 8);
+  const TraceView view(trace);
+  const TraceView filtered_view =
+      core::ProportionalFilter::apply_random(view, 0.3, 77);
+  const auto filtered_source =
+      core::ProportionalFilter::apply_random(make_source(view), 0.3, 77);
+  ASSERT_EQ(filtered_source->bunch_count(), filtered_view.bunch_count());
+  for (std::size_t i = 0; i < filtered_view.bunch_count(); ++i) {
+    EXPECT_EQ(filtered_source->raw_timestamp(i),
+              filtered_view.bunch(i).timestamp);
+  }
+}
+
+TEST(ScalerSourceTest, ScaleMatchesViewPath) {
+  const auto trace = shared_trace(90, 9);
+  const TraceView view(trace);
+  const TraceView scaled_view = core::InterarrivalScaler::scale(view, 4.0);
+  const auto scaled_source =
+      core::InterarrivalScaler::scale(make_source(view), 4.0);
+  ASSERT_EQ(scaled_source->bunch_count(), scaled_view.bunch_count());
+  for (std::size_t i = 0; i < scaled_view.bunch_count(); ++i) {
+    EXPECT_EQ(scaled_source->timestamp(i), scaled_view.timestamp(i));
+  }
+  const auto to_duration = core::InterarrivalScaler::scale_to_duration(
+      make_source(view), 5.0);
+  EXPECT_DOUBLE_EQ(to_duration->duration(), 5.0);
+  // Non-positive target is rejected, like the view path.
+  EXPECT_THROW(
+      core::InterarrivalScaler::scale_to_duration(make_source(view), 0.0),
+      std::invalid_argument);
+  // A zero-duration source cannot stretch: returned unchanged.
+  auto single = std::make_shared<Trace>();
+  single->bunches.emplace_back();  // one bunch at t = 0
+  const auto instant = make_source(TraceView(
+      std::shared_ptr<const Trace>(std::move(single))));
+  EXPECT_EQ(core::InterarrivalScaler::scale_to_duration(instant, 5.0),
+            instant);
+}
+
+// --- replay equivalence: the acceptance bar ---------------------------------
+
+TEST(ReplayEquivalenceTest, SourceReplayMatchesViewReplay) {
+  const auto trace = shared_trace(300, 10);
+  const TraceView view(trace);
+  const auto via_view = replay_view(view);
+  const ViewSource source(view);
+  const auto via_source = replay_source(source);
+  expect_reports_identical(via_view, via_source);
+}
+
+TEST(ReplayEquivalenceTest, FilteredAndScaledPipelinesBitIdentical) {
+  const auto trace = shared_trace(250, 11);
+  const TraceView view(trace);
+  const TraceView view_pipeline = core::InterarrivalScaler::scale(
+      core::ProportionalFilter::apply(view, 0.3), 2.0);
+  const auto source_pipeline = core::InterarrivalScaler::scale(
+      core::ProportionalFilter::apply(make_source(view), 0.3), 2.0);
+  expect_reports_identical(replay_view(view_pipeline),
+                           replay_source(*source_pipeline));
+}
+
+class ColumnarReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tracer_source_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+// The tentpole guarantee: replaying a trace streamed from an on-disk v2
+// file through small windows produces the same report, bit for bit, as
+// replaying the fully materialized in-memory trace.
+TEST_F(ColumnarReplayTest, StreamedReplayBitIdenticalToInMemory) {
+  const auto trace = shared_trace(400, 12);
+  const std::string path = (dir_ / "t.replay2").string();
+  write_columnar_file(path, *trace);
+  const auto in_memory = replay_view(TraceView(trace));
+  ColumnarSource::Options options;
+  options.window_bunches = 32;  // dozens of window reloads over the replay
+  options.evict_consumed = true;
+  const auto streamed = open_columnar_source(path, options);
+  expect_reports_identical(in_memory, replay_source(*streamed));
+}
+
+TEST_F(ColumnarReplayTest, FilteredColumnarReplayMatchesFilteredView) {
+  const auto trace = shared_trace(300, 13);
+  const std::string path = (dir_ / "f.replay2").string();
+  write_columnar_file(path, *trace);
+  const auto via_view =
+      replay_view(core::ProportionalFilter::apply(TraceView(trace), 0.2));
+  ColumnarSource::Options options;
+  options.window_bunches = 16;
+  const auto via_columnar = replay_source(*core::ProportionalFilter::apply(
+      open_columnar_source(path, options), 0.2));
+  expect_reports_identical(via_view, via_columnar);
+}
+
+TEST_F(ColumnarReplayTest, MaterializedColumnarSourceEqualsOriginal) {
+  const auto trace = shared_trace(64, 14);
+  const std::string path = (dir_ / "m.replay2").string();
+  write_columnar_file(path, *trace);
+  ColumnarSource::Options options;
+  options.window_bunches = 9;
+  EXPECT_EQ(materialize(*open_columnar_source(path, options)), *trace);
+}
+
+}  // namespace
+}  // namespace tracer::trace
