@@ -6,6 +6,7 @@
 #include "bench_common.h"
 
 #include "core/metrics.h"
+#include "obs/registry.h"
 
 int main() {
   using namespace tracer;
@@ -56,6 +57,16 @@ int main() {
   }
   table.print(std::cout);
   std::printf("max accuracy error: %.3f %%\n", max_error * 100.0);
+  // Every replay above went through the engine, which publishes its late-
+  // schedule count to obs; any non-zero total means an event was clamped
+  // into the present and the accuracy numbers are built on drifted timing.
+  const std::uint64_t late =
+      obs::Registry::global().counter("replay.events_late").value();
+  if (late != 0) {
+    std::fprintf(stderr, "FATAL: %llu late schedules across replays\n",
+                 static_cast<unsigned long long>(late));
+    return 1;
+  }
   bench::print_verdict(max_error < 0.02,
                        "load-control error small for fixed request size "
                        "(paper: <0.5 %, ours: <2 % budget for queue noise)");

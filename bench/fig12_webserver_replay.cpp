@@ -40,6 +40,14 @@ int main() {
     storage::DiskArray array(engine.simulator(),
                              storage::ArrayConfig::hdd_testbed(6));
     const core::ReplayReport report = engine.replay(filtered, array);
+    if (report.late_schedules != 0) {
+      // A late schedule means the DES clamped an event into the present —
+      // the replayed timing silently drifted. Figure data would be invalid.
+      std::fprintf(stderr, "FATAL: %llu late schedules at load %.0f %%\n",
+                   static_cast<unsigned long long>(report.late_schedules),
+                   load * 100.0);
+      return 1;
+    }
     iops_series.push_back(report.perf.iops_series);
     mean_iops.push_back(report.perf.iops);
     mean_mbps.push_back(report.perf.mbps);

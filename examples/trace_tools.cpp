@@ -63,9 +63,8 @@ trace::Trace load_any(const char* path) {
   return trace;
 }
 
-void print_info(const trace::Trace& trace) {
-  const trace::TraceStats stats = trace::compute_stats(trace);
-  std::printf("device:          %s\n", trace.device.c_str());
+void print_stats(const std::string& device, const trace::TraceStats& stats) {
+  std::printf("device:          %s\n", device.c_str());
   std::printf("bunches:         %llu\n",
               static_cast<unsigned long long>(stats.bunches));
   std::printf("packages:        %llu\n",
@@ -82,6 +81,10 @@ void print_info(const trace::Trace& trace) {
               stats.mean_mbps);
 }
 
+void print_info(const trace::Trace& trace) {
+  print_stats(trace.device, trace::compute_stats(trace));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,7 +92,15 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "info" && argc == 3) {
-      print_info(load_any(argv[2]));
+      if (is_columnar_file(argv[2])) {
+        // Stream the statistics pass: one decode window of RAM, however
+        // large the .replay2 file is (the stats are identical to the
+        // materialized path — tests/test_trace_stats.cpp).
+        const auto source = trace::open_columnar_source(argv[2]);
+        print_stats(source->device(), trace::compute_stats(*source));
+      } else {
+        print_info(load_any(argv[2]));
+      }
       return 0;
     }
     if (command == "convert" && argc == 4) {

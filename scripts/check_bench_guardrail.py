@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Perf guardrail over BENCH_micro.json (google-benchmark JSON output).
+
+Fails (exit 1) when the sharded replay kernel's speedup over the classic
+kernel drops below the floor:
+
+    speedup = real_time(BM_ReplayHddArray) /
+              real_time(BM_ReplayHddArraySharded/<shards>)
+
+CI runs this in the bench-smoke job after micro_core; a PR labelled
+`skip-perf-guardrail` skips the step (noisy runners, or a change that
+knowingly trades replay speed for something else — say why in the PR).
+
+Usage: check_bench_guardrail.py BENCH_micro.json [--shards=4] [--min-speedup=2.0]
+"""
+
+import json
+import sys
+
+
+def parse_args(argv):
+    path = None
+    shards = 4
+    min_speedup = 2.0
+    for arg in argv[1:]:
+        if arg.startswith("--shards="):
+            shards = int(arg.split("=", 1)[1])
+        elif arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
+        elif path is None:
+            path = arg
+        else:
+            sys.exit(f"unexpected argument: {arg}")
+    if path is None:
+        sys.exit(__doc__)
+    return path, shards, min_speedup
+
+
+def best_time(benchmarks, name):
+    """Minimum real_time across entries for `name` (repetitions and
+    aggregate rows both appear in the JSON; the minimum of the raw
+    repetitions is the least-noisy estimator on shared runners)."""
+    times = [
+        b["real_time"]
+        for b in benchmarks
+        if b.get("run_name", b["name"]) == name
+        and b.get("run_type", "iteration") == "iteration"
+    ]
+    if not times:
+        sys.exit(f"FATAL: benchmark '{name}' not found in results")
+    return min(times)
+
+
+def main(argv):
+    path, shards, min_speedup = parse_args(argv)
+    with open(path) as f:
+        benchmarks = json.load(f)["benchmarks"]
+
+    classic = best_time(benchmarks, "BM_ReplayHddArray")
+    sharded = best_time(benchmarks, f"BM_ReplayHddArraySharded/{shards}")
+    speedup = classic / sharded
+    print(f"BM_ReplayHddArray:           {classic:12.0f} ns")
+    print(f"BM_ReplayHddArraySharded/{shards}: {sharded:12.0f} ns")
+    print(f"speedup: {speedup:.2f}x (guardrail: {min_speedup:.2f}x)")
+    if speedup < min_speedup:
+        print(
+            f"FAIL: sharded replay speedup {speedup:.2f}x is below the "
+            f"{min_speedup:.2f}x guardrail",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,18 +21,6 @@ PerfMonitor::PerfMonitor(Seconds sampling_cycle)
       bytes_series_(sampling_cycle),
       latency_hist_(kHistLoMs, kHistHiMs, kHistBinsPerDecade) {}
 
-void PerfMonitor::on_complete(const storage::IoCompletion& completion) {
-  ++completions_;
-  bytes_ += completion.bytes;
-  last_finish_ = std::max(last_finish_, completion.finish_time);
-  ops_.add(completion.finish_time, 1.0);
-  bytes_series_.add(completion.finish_time,
-                    static_cast<double>(completion.bytes));
-  const double latency_ms = completion.latency() * 1e3;
-  latency_.add(latency_ms);
-  latency_hist_.add(latency_ms);
-}
-
 PerfReport PerfMonitor::report(Seconds duration) const {
   PerfReport out;
   out.completions = completions_;

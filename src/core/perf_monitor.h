@@ -5,6 +5,8 @@
 // response time").
 #pragma once
 
+#include <algorithm>
+
 #include "obs/registry.h"
 #include "storage/io_request.h"
 #include "util/stats.h"
@@ -31,8 +33,19 @@ class PerfMonitor {
  public:
   explicit PerfMonitor(Seconds sampling_cycle = 1.0);
 
-  /// Record one completion.
-  void on_complete(const storage::IoCompletion& completion);
+  /// Record one completion. Inline: both replay kernels call this once per
+  /// package on their hot path.
+  void on_complete(const storage::IoCompletion& completion) {
+    ++completions_;
+    bytes_ += completion.bytes;
+    last_finish_ = std::max(last_finish_, completion.finish_time);
+    ops_.add(completion.finish_time, 1.0);
+    bytes_series_.add(completion.finish_time,
+                      static_cast<double>(completion.bytes));
+    const double latency_ms = completion.latency() * 1e3;
+    latency_.add(latency_ms);
+    latency_hist_.add(latency_ms);
+  }
 
   std::uint64_t completions() const { return completions_; }
   Bytes bytes() const { return bytes_; }

@@ -157,8 +157,10 @@ ReplayReport ReplayEngine::replay(
   sampler.arm(sim_.now() + options_.sampling_cycle);
 
   // Steady state keeps one bunch event, one sampler event, and the in-
-  // flight completions queued; reserve so scheduling never reallocates.
-  sim_.reserve(256);
+  // flight completions queued; reserve the device's own worst-case estimate
+  // so scheduling never reallocates mid-replay (the capacity-stability
+  // regression test replays twice and asserts no growth).
+  sim_.reserve(std::max<std::size_t>(256, device.max_concurrent_events() + 64));
   schedule_bunch(source, 0, device);
   sim_.run();
 
@@ -166,6 +168,36 @@ ReplayReport ReplayEngine::replay(
   // Take the final (possibly partial) cycle so energy totals are complete.
   analyzer.sample_at(end);
 
+  ReplayReport report =
+      assemble_report(source, analyzer, end, extra_sources.size());
+  report.events_dispatched = sim_.events_dispatched() - events_before;
+  report.late_schedules = sim_.late_schedule_count() - late_before;
+
+  // Registry counters are bumped once per replay (never per event), so the
+  // DES hot loop touches no shared state. Handles are cached in statics:
+  // after the first replay this is five relaxed atomic adds.
+  {
+    auto& reg = obs::Registry::global();
+    static auto& runs = reg.counter("replay.runs");
+    static auto& bunches = reg.counter("replay.bunches");
+    static auto& packages = reg.counter("replay.packages");
+    static auto& events = reg.counter("replay.events_scheduled");
+    static auto& late = reg.counter("replay.events_late");
+    static auto& depth = reg.gauge("replay.max_in_flight");
+    runs.increment();
+    bunches.add(bunches_submitted_);
+    packages.add(packages_submitted_);
+    events.add(sim_.events_dispatched() - events_before);
+    late.add(sim_.late_schedule_count() - late_before);
+    depth.update_max(static_cast<double>(max_in_flight_));
+  }
+  return report;
+}
+
+ReplayReport ReplayEngine::assemble_report(const trace::TraceSource& source,
+                                           power::PowerAnalyzer& analyzer,
+                                           Seconds end,
+                                           std::size_t extra_channel_count) {
   ReplayReport report;
   report.replay_duration = end;
   report.bunches_replayed = bunches_submitted_;
@@ -195,32 +227,13 @@ ReplayReport ReplayEngine::replay(
     report.avg_amps /= static_cast<double>(channel.samples.size());
   }
   report.power_series = channel.samples;
-  report.extra_channels.reserve(extra_sources.size());
-  for (std::size_t ch = 1; ch <= extra_sources.size(); ++ch) {
+  report.extra_channels.reserve(extra_channel_count);
+  for (std::size_t ch = 1; ch <= extra_channel_count; ++ch) {
     report.extra_channels.push_back(analyzer.report(ch));
   }
   if (report.avg_watts > 0.0) {
     report.efficiency = compute_efficiency(report.perf.iops, report.perf.mbps,
                                            report.avg_watts);
-  }
-
-  // Registry counters are bumped once per replay (never per event), so the
-  // DES hot loop touches no shared state. Handles are cached in statics:
-  // after the first replay this is five relaxed atomic adds.
-  {
-    auto& reg = obs::Registry::global();
-    static auto& runs = reg.counter("replay.runs");
-    static auto& bunches = reg.counter("replay.bunches");
-    static auto& packages = reg.counter("replay.packages");
-    static auto& events = reg.counter("replay.events_scheduled");
-    static auto& late = reg.counter("replay.events_late");
-    static auto& depth = reg.gauge("replay.max_in_flight");
-    runs.increment();
-    bunches.add(bunches_submitted_);
-    packages.add(packages_submitted_);
-    events.add(sim_.events_dispatched() - events_before);
-    late.add(sim_.late_schedule_count() - late_before);
-    depth.update_max(static_cast<double>(max_in_flight_));
   }
   return report;
 }

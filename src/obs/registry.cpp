@@ -70,16 +70,6 @@ LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
       bins_per_log10_(static_cast<double>(bins_per_decade)),
       bins_(checked_bin_count(lo, hi, bins_per_decade)) {}
 
-void LogHistogram::add(double x, std::uint64_t weight) noexcept {
-  std::size_t idx = 0;
-  if (x > lo_) {
-    const double pos = (std::log10(x) - log_lo_) * bins_per_log10_;
-    idx = std::min(static_cast<std::size_t>(pos), bins_.size() - 1);
-  }
-  bins_[idx].fetch_add(weight, std::memory_order_relaxed);
-  total_.fetch_add(weight, std::memory_order_relaxed);
-}
-
 double LogHistogram::bin_lo(std::size_t i) const {
   return std::pow(10.0, log_lo_ + static_cast<double>(i) / bins_per_log10_);
 }

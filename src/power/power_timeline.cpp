@@ -12,6 +12,15 @@ void PowerTimeline::insert(Seconds t, Watts delta) {
     // energy lands in the current cycle instead, preserving totals.
     t = cursor_;
   }
+  // Pulse streams arrive near-sorted (a device's service starts are
+  // monotone), so the overwhelmingly common case is an append; keep it O(1)
+  // instead of paying a binary search + mid-vector insert. Equal times go
+  // after existing entries either way (upper_bound semantics), so the
+  // integration order — and therefore the energy ledger — is unchanged.
+  if (pending_.empty() || !(t < pending_.back().time)) {
+    pending_.push_back(Breakpoint{t, delta});
+    return;
+  }
   auto it = std::upper_bound(
       pending_.begin(), pending_.end(), t,
       [](Seconds value, const Breakpoint& bp) { return value < bp.time; });

@@ -1,0 +1,23 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracer::sim {
+
+ShardedSimulator::ShardedSimulator(std::size_t shards)
+    : shards_(std::max<std::size_t>(1, shards)) {}
+
+std::size_t ShardedSimulator::pending() const { return pending_; }
+
+void ShardedSimulator::reserve(std::size_t events_per_shard) {
+  for (auto& heap : shards_) heap.reserve(events_per_shard);
+}
+
+std::size_t ShardedSimulator::max_shard_capacity() const {
+  std::size_t cap = 0;
+  for (const auto& heap : shards_) cap = std::max(cap, heap.capacity());
+  return cap;
+}
+
+}  // namespace tracer::sim

@@ -1,0 +1,132 @@
+// Sharded discrete-event core for the parallel replay kernel (DESIGN.md
+// §6g).
+//
+// Where sim::Simulator stores one global heap of closures, ShardedSimulator
+// keeps one event queue per *shard* (the replay kernel maps each member
+// disk of an array to a shard and pins controller/admission/sampler events
+// to shard 0) and pops the globally earliest event across shards. Events
+// are 24-byte PODs — a (time, seq) key plus a caller-defined (kind, a, b)
+// payload — so scheduling never allocates, never constructs a closure, and
+// popping is a switch in the caller's run loop instead of an indirect call
+// through a type-erased callable.
+//
+// Determinism contract: `seq` is a single global monotone counter assigned
+// at schedule() time, exactly like Simulator's FIFO tie-break, and pop()
+// always returns the minimum (time, seq) across every shard. The shard
+// partition therefore never changes execution order — replaying the same
+// schedule() sequence with 1 or N shards dispatches the identical event
+// sequence, which is what makes the sharded replay path's metrics
+// bit-identical across shard counts (tests/test_sharded_replay.cpp).
+//
+// Per-disk completion queues are near-sorted (an HDD has at most one
+// completion outstanding; an SSD at most `channels`), so the per-shard
+// binary heaps stay tiny and pop() is a linear scan over at most
+// `shards` heads — cheaper than sifting one big heap of closures.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tracer::sim {
+
+/// One scheduled event. `kind`/`a`/`b` are opaque to the simulator; the
+/// owner's run loop interprets them (the replay kernel: kind = event type,
+/// a = disk index, b = operation slot).
+struct ShardEvent {
+  Seconds time = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(std::size_t shards);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Current simulation time (time of the last popped event).
+  Seconds now() const { return now_; }
+
+  /// Schedule an event on `shard` at absolute time `at` (clamped to now(),
+  /// counting the clamp like Simulator::schedule_at does). Defined inline:
+  /// this is the replay kernel's innermost loop and the call must fuse into
+  /// it.
+  void schedule(std::size_t shard, Seconds at, std::uint32_t kind,
+                std::uint32_t a = 0, std::uint64_t b = 0) {
+    if (at < now_) ++late_schedules_;
+    auto& heap = shards_[shard];
+    heap.push_back(ShardEvent{std::max(at, now_), next_seq_++, kind, a, b});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+    ++pending_;
+  }
+
+  /// Pop the globally earliest event across all shards into `out`,
+  /// advancing the clock. Returns false when every shard is empty.
+  /// Linear scan over the shard heads: shard count is small (<= disks + 1)
+  /// and the heads are hot in cache, so this beats maintaining a second
+  /// heap. Inline for the same reason as schedule().
+  bool pop(ShardEvent& out) {
+    std::size_t best = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].empty()) continue;
+      if (best == shards_.size() ||
+          Later{}(shards_[best].front(), shards_[s].front())) {
+        best = s;
+      }
+    }
+    if (best == shards_.size()) return false;
+    auto& heap = shards_[best];
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    out = heap.back();
+    heap.pop_back();
+    --pending_;
+    now_ = out.time;
+    ++dispatched_;
+    return true;
+  }
+
+  /// Events not yet fired, across all shards.
+  std::size_t pending() const;
+
+  /// Pre-size every shard's queue so steady-state scheduling never
+  /// reallocates.
+  void reserve(std::size_t events_per_shard);
+
+  /// Total events popped over the simulator's lifetime.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// schedule() calls that asked for a time already in the past and were
+  /// clamped to now() — same silent-drift tripwire as
+  /// Simulator::late_schedule_count().
+  std::uint64_t late_schedule_count() const { return late_schedules_; }
+
+  /// Capacity of the largest shard queue (regression tests assert this is
+  /// stable across a replay after reserve()).
+  std::size_t max_shard_capacity() const;
+
+ private:
+  // Min-heap ordering on (time, seq), identical to Simulator::Later.
+  struct Later {
+    bool operator()(const ShardEvent& x, const ShardEvent& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t late_schedules_ = 0;
+  std::size_t pending_ = 0;
+  std::vector<std::vector<ShardEvent>> shards_;  ///< one binary heap each
+};
+
+}  // namespace tracer::sim

@@ -54,6 +54,13 @@ class Simulator {
   /// Number of events not yet fired.
   std::size_t pending() const { return heap_.size(); }
 
+  /// Current allocation sizes of the event heap and callable slab. Replay
+  /// regression tests assert these are stable across a replay after
+  /// reserve() — growth means the in-flight estimate undershot and the hot
+  /// loop paid a reallocation.
+  std::size_t heap_capacity() const { return heap_.capacity(); }
+  std::size_t slot_capacity() const { return slots_.capacity(); }
+
   /// Run until the event queue drains. Returns the final clock value.
   Seconds run();
 

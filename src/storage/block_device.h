@@ -27,6 +27,13 @@ class BlockDevice : public power::PowerSource {
   /// Requests accepted but not yet completed (queued + in service).
   virtual std::size_t outstanding() const = 0;
 
+  /// Upper bound on simulator events this device keeps scheduled at once
+  /// (completions in service plus auxiliary timers). The replay engine sums
+  /// these to pre-size the event heap so steady-state scheduling never
+  /// reallocates; an undershoot is only a missed reservation, never an
+  /// error. Default: one completion plus one timer.
+  virtual std::size_t max_concurrent_events() const { return 2; }
+
   sim::Simulator& simulator() { return sim_; }
 
  protected:

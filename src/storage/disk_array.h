@@ -49,6 +49,9 @@ class DiskArray final : public BlockDevice {
   Bytes capacity() const override { return controller_->capacity(); }
   void submit(const IoRequest& request, CompletionCallback done) override;
   std::size_t outstanding() const override { return controller_->outstanding(); }
+  std::size_t max_concurrent_events() const override {
+    return controller_ ? controller_->max_concurrent_events() : 0;
+  }
 
   // PowerSource: enclosure + every member disk, scaled by PSU loss.
   std::string name() const override { return config_.name; }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "storage/mech_batch.h"
+
 namespace tracer::storage {
 
 HddModel::HddModel(sim::Simulator& sim, const HddParams& params,
@@ -15,38 +17,11 @@ HddModel::HddModel(sim::Simulator& sim, const HddParams& params,
   if (params_.cylinders == 0 || params_.capacity == 0) {
     throw std::invalid_argument("HddModel: capacity and cylinders must be > 0");
   }
-  rotation_period_ = 60.0 / params_.rpm;
-  sectors_per_cylinder_ =
-      std::max<std::uint64_t>(1, params_.capacity / kSectorSize /
-                                     params_.cylinders);
-  // seek(d) = t2t + coeff * sqrt(d); coeff chosen so a full-stroke seek
-  // costs full_stroke_seek.
-  seek_coefficient_ =
-      (params_.full_stroke_seek - params_.track_to_track_seek) /
-      std::sqrt(static_cast<double>(params_.cylinders - 1));
+  geom_ = derive_hdd_geometry(params_);
 }
 
 std::uint64_t HddModel::cylinder_of(Sector sector) const {
-  return std::min<std::uint64_t>(sector / sectors_per_cylinder_,
-                                 params_.cylinders - 1);
-}
-
-double HddModel::media_rate_bytes_per_sec(std::uint64_t cyl) const {
-  const double frac =
-      static_cast<double>(cyl) / static_cast<double>(params_.cylinders - 1);
-  const double mbps = params_.outer_rate_mbps +
-                      (params_.inner_rate_mbps - params_.outer_rate_mbps) * frac;
-  return mbps * 1.0e6;
-}
-
-Seconds HddModel::seek_time(std::uint64_t from_cyl, std::uint64_t to_cyl,
-                            bool sequential) const {
-  if (sequential) return 0.0;
-  const std::uint64_t distance =
-      from_cyl > to_cyl ? from_cyl - to_cyl : to_cyl - from_cyl;
-  if (distance == 0) return params_.settle_time;
-  return params_.track_to_track_seek +
-         seek_coefficient_ * std::sqrt(static_cast<double>(distance));
+  return hdd_cylinder_of(params_, geom_, sector);
 }
 
 void HddModel::submit(const IoRequest& request, CompletionCallback done) {
@@ -101,8 +76,9 @@ std::deque<HddModel::Pending>::iterator HddModel::pick_next() {
   std::uint64_t best_distance = ~0ULL;
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     const std::uint64_t cyl = cylinder_of(it->request.sector);
-    const std::uint64_t distance =
-        cyl > head_cylinder_ ? cyl - head_cylinder_ : head_cylinder_ - cyl;
+    const std::uint64_t distance = cyl > mech_.head_cylinder
+                                       ? cyl - mech_.head_cylinder
+                                       : mech_.head_cylinder - cyl;
     if (distance < best_distance) {
       best_distance = distance;
       best = it;
@@ -120,40 +96,26 @@ void HddModel::start_next() {
   queue_.erase(it);
 
   const IoRequest& req = pending.request;
-  const std::uint64_t target_cyl = cylinder_of(req.sector);
-  const bool sequential =
-      have_position_ && req.sector == next_sequential_sector_;
-
   const Seconds t0 = sim_.now();
-  const Seconds seek = seek_time(head_cylinder_, target_cyl, sequential);
-  const Seconds rotation =
-      sequential ? 0.0 : rng_.uniform(0.0, rotation_period_);
-  const Seconds transfer =
-      static_cast<double>(req.bytes) / media_rate_bytes_per_sec(target_cyl);
-  const Seconds service =
-      params_.command_overhead + seek + rotation + transfer;
+  const HddServicePlan plan =
+      hdd_plan_service(params_, geom_, mech_, rng_, req.sector, req.bytes);
 
   // Power: voice coil during the seek, head/channel during the transfer.
   const Seconds seek_begin = t0 + params_.command_overhead;
-  if (seek > 0.0) {
-    timeline_.add_pulse(seek_begin, seek_begin + seek,
+  if (plan.seek > 0.0) {
+    timeline_.add_pulse(seek_begin, seek_begin + plan.seek,
                         params_.seek_extra_watts);
   }
-  const Seconds transfer_begin = seek_begin + seek + rotation;
+  const Seconds transfer_begin = seek_begin + plan.seek + plan.rotation;
   Watts transfer_extra = params_.transfer_extra_watts;
   if (req.op == OpType::kWrite) transfer_extra += params_.write_extra_watts;
-  timeline_.add_pulse(transfer_begin, transfer_begin + transfer,
+  timeline_.add_pulse(transfer_begin, transfer_begin + plan.transfer,
                       transfer_extra);
 
-  if (sequential) ++sequential_hits_;
-  busy_time_ += service;
+  if (plan.sequential) ++sequential_hits_;
+  busy_time_ += plan.service;
 
-  const Seconds finish = t0 + service;
-  head_cylinder_ = cylinder_of(req.end_sector() ? req.end_sector() - 1
-                                                : req.sector);
-  next_sequential_sector_ = req.end_sector();
-  have_position_ = true;
-
+  const Seconds finish = t0 + plan.service;
   sim_.schedule_at(
       finish, [this, pending = std::move(pending), finish]() mutable {
         ++completed_;

@@ -14,6 +14,7 @@
 
 #include "power/power_timeline.h"
 #include "storage/block_device.h"
+#include "storage/mech_types.h"
 #include "util/rng.h"
 
 namespace tracer::storage {
@@ -54,6 +55,8 @@ class HddModel final : public BlockDevice {
   std::size_t outstanding() const override {
     return queue_.size() + (busy_ ? 1 : 0);
   }
+  /// One in-service completion plus a possible spin-up timer.
+  std::size_t max_concurrent_events() const override { return 2; }
 
   // PowerSource
   std::string name() const override { return params_.name; }
@@ -91,10 +94,7 @@ class HddModel final : public BlockDevice {
   };
 
   void start_next();
-  Seconds seek_time(std::uint64_t from_cyl, std::uint64_t to_cyl,
-                    bool sequential) const;
   std::uint64_t cylinder_of(Sector sector) const;
-  double media_rate_bytes_per_sec(std::uint64_t cyl) const;
   std::deque<Pending>::iterator pick_next();
 
   HddParams params_;
@@ -102,15 +102,13 @@ class HddModel final : public BlockDevice {
   power::PowerTimeline timeline_;
   std::deque<Pending> queue_;
   bool busy_ = false;
-  std::uint64_t head_cylinder_ = 0;
-  Sector next_sequential_sector_ = 0;
-  bool have_position_ = false;
+  // Service mechanics are shared with the batch planners (mech_batch.h):
+  // geometry is derived once, head/sequential state advances per request.
+  HddMechGeometry geom_;
+  HddMechState mech_;
   std::uint64_t completed_ = 0;
   std::uint64_t sequential_hits_ = 0;
   Seconds busy_time_ = 0.0;
-  Seconds rotation_period_;
-  std::uint64_t sectors_per_cylinder_;
-  double seek_coefficient_;
   Seconds last_activity_ = 0.0;
   PowerState power_state_ = PowerState::kActive;
   std::uint64_t spin_ups_ = 0;

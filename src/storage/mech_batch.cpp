@@ -1,0 +1,167 @@
+#include "storage/mech_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tracer::storage {
+
+HddMechGeometry derive_hdd_geometry(const HddParams& params) {
+  HddMechGeometry geom;
+  geom.rotation_period = 60.0 / params.rpm;
+  geom.sectors_per_cylinder = std::max<std::uint64_t>(
+      1, params.capacity / kSectorSize / params.cylinders);
+  // seek(d) = t2t + coeff * sqrt(d); coeff chosen so a full-stroke seek
+  // costs full_stroke_seek.
+  geom.seek_coefficient =
+      (params.full_stroke_seek - params.track_to_track_seek) /
+      std::sqrt(static_cast<double>(params.cylinders - 1));
+  return geom;
+}
+
+std::uint64_t hdd_cylinder_of(const HddParams& params,
+                              const HddMechGeometry& geom, Sector sector) {
+  return std::min<std::uint64_t>(sector / geom.sectors_per_cylinder,
+                                 params.cylinders - 1);
+}
+
+double hdd_media_rate_bytes_per_sec(const HddParams& params,
+                                    std::uint64_t cyl) {
+  const double frac =
+      static_cast<double>(cyl) / static_cast<double>(params.cylinders - 1);
+  const double mbps =
+      params.outer_rate_mbps +
+      (params.inner_rate_mbps - params.outer_rate_mbps) * frac;
+  return mbps * 1.0e6;
+}
+
+Seconds hdd_seek_time(const HddParams& params, const HddMechGeometry& geom,
+                      std::uint64_t from_cyl, std::uint64_t to_cyl,
+                      bool sequential) {
+  if (sequential) return 0.0;
+  const std::uint64_t distance =
+      from_cyl > to_cyl ? from_cyl - to_cyl : to_cyl - from_cyl;
+  if (distance == 0) return params.settle_time;
+  return params.track_to_track_seek +
+         geom.seek_coefficient * std::sqrt(static_cast<double>(distance));
+}
+
+HddServicePlan hdd_plan_service(const HddParams& params,
+                                const HddMechGeometry& geom,
+                                HddMechState& state, util::Rng& rng,
+                                Sector sector, Bytes bytes) {
+  HddServicePlan plan;
+  const std::uint64_t target_cyl = hdd_cylinder_of(params, geom, sector);
+  plan.sequential =
+      state.have_position && sector == state.next_sequential_sector;
+  plan.seek = hdd_seek_time(params, geom, state.head_cylinder, target_cyl,
+                            plan.sequential);
+  plan.rotation =
+      plan.sequential ? 0.0 : rng.uniform(0.0, geom.rotation_period);
+  plan.transfer = static_cast<double>(bytes) /
+                  hdd_media_rate_bytes_per_sec(params, target_cyl);
+  plan.service =
+      params.command_overhead + plan.seek + plan.rotation + plan.transfer;
+
+  const Sector end_sector = sector + (bytes + kSectorSize - 1) / kSectorSize;
+  state.head_cylinder =
+      hdd_cylinder_of(params, geom, end_sector ? end_sector - 1 : sector);
+  state.next_sequential_sector = end_sector;
+  state.have_position = true;
+  return plan;
+}
+
+void hdd_plan_batch(const HddParams& params, const HddMechGeometry& geom,
+                    HddMechState& state, util::Rng& rng,
+                    const Sector* sectors, const Bytes* bytes,
+                    std::size_t count, HddServicePlan* out) {
+  // Hoist the loop-invariant constants; the per-element body is the same
+  // arithmetic as hdd_plan_service with the helper calls flattened.
+  const std::uint64_t spc = geom.sectors_per_cylinder;
+  const std::uint64_t max_cyl = params.cylinders - 1;
+  const double cyl_norm = static_cast<double>(max_cyl);
+  const double rate_base = params.outer_rate_mbps;
+  const double rate_slope = params.inner_rate_mbps - params.outer_rate_mbps;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sector sector = sectors[i];
+    const Bytes size = bytes[i];
+    HddServicePlan& plan = out[i];
+    const std::uint64_t target_cyl =
+        std::min<std::uint64_t>(sector / spc, max_cyl);
+    const bool sequential =
+        state.have_position && sector == state.next_sequential_sector;
+    plan.sequential = sequential;
+    if (sequential) {
+      plan.seek = 0.0;
+      plan.rotation = 0.0;
+    } else {
+      const std::uint64_t from = state.head_cylinder;
+      const std::uint64_t distance =
+          from > target_cyl ? from - target_cyl : target_cyl - from;
+      plan.seek = distance == 0
+                      ? params.settle_time
+                      : params.track_to_track_seek +
+                            geom.seek_coefficient *
+                                std::sqrt(static_cast<double>(distance));
+      plan.rotation = rng.uniform(0.0, geom.rotation_period);
+    }
+    const double frac = static_cast<double>(target_cyl) / cyl_norm;
+    const double rate = (rate_base + rate_slope * frac) * 1.0e6;
+    plan.transfer = static_cast<double>(size) / rate;
+    plan.service =
+        params.command_overhead + plan.seek + plan.rotation + plan.transfer;
+
+    const Sector end_sector = sector + (size + kSectorSize - 1) / kSectorSize;
+    const Sector head_sector = end_sector ? end_sector - 1 : sector;
+    state.head_cylinder = std::min<std::uint64_t>(head_sector / spc, max_cyl);
+    state.next_sequential_sector = end_sector;
+    state.have_position = true;
+  }
+}
+
+std::size_t ssd_channels_for(const SsdParams& params, Bytes bytes) {
+  const Bytes stripes =
+      (bytes + params.internal_stripe - 1) / params.internal_stripe;
+  return static_cast<std::size_t>(std::min<Bytes>(stripes, params.channels));
+}
+
+SsdServicePlan ssd_plan_service(const SsdParams& params, SsdMechState& state,
+                                Sector sector, Bytes bytes, OpType op) {
+  SsdServicePlan plan;
+  const std::size_t used_channels = ssd_channels_for(params, bytes);
+  plan.used_channels = static_cast<std::uint32_t>(used_channels);
+
+  plan.sequential =
+      state.have_position && sector == state.next_sequential_sector;
+  state.next_sequential_sector =
+      sector + (bytes + kSectorSize - 1) / kSectorSize;
+  state.have_position = true;
+
+  const bool is_write = op == OpType::kWrite;
+  // The device's aggregate bandwidth is split evenly across channels; the
+  // request moves bytes/used_channels per channel in parallel.
+  const double device_rate =
+      (is_write ? params.write_rate_mbps : params.read_rate_mbps) * 1.0e6;
+  const double per_channel_rate =
+      device_rate / static_cast<double>(params.channels);
+  double transfer = static_cast<double>(bytes) /
+                    static_cast<double>(used_channels) / per_channel_rate;
+  if (!plan.sequential) {
+    transfer *= is_write ? params.random_write_amplification
+                         : params.random_read_penalty;
+  }
+  plan.transfer = transfer;
+  plan.service = params.command_overhead + transfer;
+  return plan;
+}
+
+void ssd_plan_batch(const SsdParams& params, SsdMechState& state,
+                    const Sector* sectors, const Bytes* bytes,
+                    const std::uint8_t* ops, std::size_t count,
+                    SsdServicePlan* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = ssd_plan_service(params, state, sectors[i], bytes[i],
+                              ops[i] ? OpType::kWrite : OpType::kRead);
+  }
+}
+
+}  // namespace tracer::storage

@@ -32,10 +32,17 @@ std::size_t RaidGeometry::parity_disk(std::uint64_t row) const {
 
 std::vector<RaidGeometry::Extent> RaidGeometry::map(Bytes logical_byte,
                                                     Bytes bytes) const {
+  std::vector<Extent> extents;
+  map_into(logical_byte, bytes, extents);
+  return extents;
+}
+
+void RaidGeometry::map_into(Bytes logical_byte, Bytes bytes,
+                            std::vector<Extent>& out) const {
   if (logical_byte + bytes > capacity()) {
     throw std::out_of_range("RaidGeometry::map: extent beyond capacity");
   }
-  std::vector<Extent> extents;
+  out.clear();
   Bytes remaining = bytes;
   Bytes at = logical_byte;
   while (remaining > 0) {
@@ -62,12 +69,11 @@ std::vector<RaidGeometry::Extent> RaidGeometry::map(Bytes logical_byte,
     extent.bytes = chunk;
     extent.row = row;
     extent.offset_in_unit = offset;
-    extents.push_back(extent);
+    out.push_back(extent);
 
     at += chunk;
     remaining -= chunk;
   }
-  return extents;
 }
 
 RaidGeometry::Extent RaidGeometry::parity_extent(std::uint64_t row,

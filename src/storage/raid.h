@@ -50,6 +50,13 @@ struct RaidGeometry {
   /// split at stripe-unit boundaries, in logical order.
   std::vector<Extent> map(Bytes logical_byte, Bytes bytes) const;
 
+  /// Allocation-free variant for hot paths: clears `out` and fills it with
+  /// exactly what map() would return, reusing the vector's capacity. The
+  /// extents' `row` fields are non-decreasing (logical order walks rows
+  /// forward), which the sharded replay kernel exploits to group rows with
+  /// a linear scan instead of a std::map.
+  void map_into(Bytes logical_byte, Bytes bytes, std::vector<Extent>& out) const;
+
   /// Disk-local sector of the parity unit in `row`, plus its disk.
   Extent parity_extent(std::uint64_t row, Bytes offset_in_unit,
                        Bytes bytes) const;

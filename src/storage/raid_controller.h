@@ -52,6 +52,13 @@ class RaidController final : public BlockDevice {
   Bytes capacity() const override { return geometry_.capacity(); }
   void submit(const IoRequest& request, CompletionCallback done) override;
   std::size_t outstanding() const override { return outstanding_; }
+  /// One dispatch timer, one degenerate-completion event, plus every
+  /// member's own worst case.
+  std::size_t max_concurrent_events() const override {
+    std::size_t total = 2;
+    for (const auto* disk : disks_) total += disk->max_concurrent_events();
+    return total;
+  }
 
   // PowerSource (aggregates member disks; enclosure power lives in
   // DiskArray).

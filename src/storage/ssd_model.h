@@ -18,6 +18,7 @@
 
 #include "power/power_timeline.h"
 #include "storage/block_device.h"
+#include "storage/mech_types.h"
 #include "util/rng.h"
 
 namespace tracer::storage {
@@ -48,6 +49,10 @@ class SsdModel final : public BlockDevice {
   std::size_t outstanding() const override {
     return queue_.size() + active_requests_;
   }
+  /// Worst case one single-channel request in service per channel.
+  std::size_t max_concurrent_events() const override {
+    return params_.channels + 1;
+  }
 
   // PowerSource
   std::string name() const override { return params_.name; }
@@ -74,8 +79,9 @@ class SsdModel final : public BlockDevice {
   std::deque<Pending> queue_;
   std::size_t busy_channels_ = 0;
   std::size_t active_requests_ = 0;
-  Sector next_sequential_sector_ = 0;
-  bool have_position_ = false;
+  // Sequential-detection state shared with the batch planners
+  // (mech_batch.h); advances per dispatched request.
+  SsdMechState mech_;
   std::uint64_t completed_ = 0;
 };
 

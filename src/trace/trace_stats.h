@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace tracer::trace {
 
@@ -35,5 +36,14 @@ struct TraceStats {
 
 /// Single pass plus an extent merge for the footprint.
 TraceStats compute_stats(const Trace& trace);
+
+/// Streaming variant over any TraceSource: one in-order pass, identical
+/// results to the in-memory overload on the same trace. The extent buffer
+/// for the footprint is compacted (sorted + merged in place) whenever it
+/// reaches `compact_threshold` entries, so characterising a huge on-disk
+/// columnar trace runs in O(decode window + distinct extents after
+/// merging) memory instead of O(total packages).
+TraceStats compute_stats(const TraceSource& source,
+                         std::size_t compact_threshold = 1u << 20);
 
 }  // namespace tracer::trace

@@ -6,15 +6,6 @@
 
 namespace tracer::util {
 
-void RunningStats::add(double x) {
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -91,13 +82,6 @@ TimeBinnedSeries::TimeBinnedSeries(double bin_width) : bin_width_(bin_width) {
   if (!(bin_width > 0.0)) {
     throw std::invalid_argument("TimeBinnedSeries: bin_width must be > 0");
   }
-}
-
-void TimeBinnedSeries::add(double t, double value) {
-  if (t < 0.0) t = 0.0;
-  const auto idx = static_cast<std::size_t>(t / bin_width_);
-  if (idx >= sums_.size()) sums_.resize(idx + 1, 0.0);
-  sums_[idx] += value;
 }
 
 double TimeBinnedSeries::total() const {

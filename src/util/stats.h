@@ -13,7 +13,15 @@ namespace tracer::util {
 /// Numerically stable running mean/variance/min/max (Welford's algorithm).
 class RunningStats {
  public:
-  void add(double x);
+  // Inline: called once per I/O completion from the replay hot path.
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
   void merge(const RunningStats& other);
   void reset();
 
@@ -67,7 +75,13 @@ class TimeBinnedSeries {
  public:
   explicit TimeBinnedSeries(double bin_width = 1.0);
 
-  void add(double t, double value);
+  // Inline: two of these per I/O completion on the replay hot path.
+  void add(double t, double value) {
+    if (t < 0.0) t = 0.0;
+    const auto idx = static_cast<std::size_t>(t / bin_width_);
+    if (idx >= sums_.size()) sums_.resize(idx + 1, 0.0);
+    sums_[idx] += value;
+  }
 
   double bin_width() const { return bin_width_; }
   std::size_t size() const { return sums_.size(); }

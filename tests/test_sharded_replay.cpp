@@ -1,0 +1,325 @@
+// Determinism suite for the sharded replay kernel (DESIGN.md §6g).
+//
+// The contract under test: ReplayEngine::replay_sharded produces metrics
+// BIT-IDENTICAL to ReplayEngine::replay against a DiskArray built from the
+// same config — for every shard count and planner-thread count. These are
+// EXPECT_EQ comparisons on doubles, deliberately: the sharded kernel
+// replicates the classic kernel's event schedule and floating-point
+// expression shapes 1:1, so the results are the same bits, not merely
+// close.
+#include "core/replay_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sharded_simulator.h"
+#include "storage/disk_array.h"
+#include "util/rng.h"
+
+namespace tracer::core {
+namespace {
+
+/// Mixed workload with multi-package bunches and embedded sequential runs,
+/// so one trace exercises admission batching, the controller's elevator
+/// merge, RMW and full-stripe write paths, and both service models.
+trace::Trace mixed_trace(std::size_t bunches, std::uint64_t seed,
+                         double read_ratio = 0.5, Seconds gap = 0.002) {
+  util::Rng rng(seed);
+  trace::Trace trace;
+  trace.device = "dev";
+  Sector seq_cursor = 4096;
+  for (std::size_t b = 0; b < bunches; ++b) {
+    trace::Bunch bunch;
+    bunch.timestamp = static_cast<double>(b) * gap;
+    const std::size_t packages = 1 + rng.below(4);
+    for (std::size_t p = 0; p < packages; ++p) {
+      trace::IoPackage pkg;
+      if (rng.chance(0.4)) {
+        // Contiguous run fragment: consecutive packages coalesce in the
+        // controller's dispatch window.
+        pkg.sector = seq_cursor;
+        pkg.bytes = 64 * kKiB;
+        seq_cursor += pkg.bytes / kSectorSize;
+      } else {
+        pkg.sector = rng.below(1ULL << 28) * 8;
+        pkg.bytes = (1 + rng.below(32)) * 4096;
+      }
+      pkg.op = rng.chance(read_ratio) ? OpType::kRead : OpType::kWrite;
+      bunch.packages.push_back(pkg);
+    }
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+ReplayReport replay_classic(const trace::Trace& trace,
+                            const storage::ArrayConfig& config,
+                            const ReplayOptions& options = {},
+                            int failed_disk = -1) {
+  ReplayEngine engine(options);
+  storage::DiskArray array(engine.simulator(), config);
+  if (failed_disk >= 0) {
+    array.controller().fail_disk(static_cast<std::size_t>(failed_disk));
+  }
+  return engine.replay(trace, array);
+}
+
+ReplayReport replay_flat(const trace::Trace& trace,
+                         const storage::ArrayConfig& config,
+                         const ShardedReplayOptions& sharded,
+                         const ReplayOptions& options = {}) {
+  ReplayEngine engine(options);
+  return engine.replay_sharded(trace, config, sharded);
+}
+
+/// Every metric the report carries, compared for exact equality.
+void expect_identical(const ReplayReport& a, const ReplayReport& b) {
+  EXPECT_EQ(a.perf.completions, b.perf.completions);
+  EXPECT_EQ(a.perf.bytes, b.perf.bytes);
+  EXPECT_EQ(a.perf.duration, b.perf.duration);
+  EXPECT_EQ(a.perf.iops, b.perf.iops);
+  EXPECT_EQ(a.perf.mbps, b.perf.mbps);
+  EXPECT_EQ(a.perf.avg_response_ms, b.perf.avg_response_ms);
+  EXPECT_EQ(a.perf.p95_response_ms, b.perf.p95_response_ms);
+  EXPECT_EQ(a.perf.max_response_ms, b.perf.max_response_ms);
+  EXPECT_EQ(a.perf.iops_series, b.perf.iops_series);
+  EXPECT_EQ(a.perf.mbps_series, b.perf.mbps_series);
+  EXPECT_EQ(a.avg_watts, b.avg_watts);
+  EXPECT_EQ(a.avg_true_watts, b.avg_true_watts);
+  EXPECT_EQ(a.avg_volts, b.avg_volts);
+  EXPECT_EQ(a.avg_amps, b.avg_amps);
+  EXPECT_EQ(a.joules, b.joules);
+  EXPECT_EQ(a.efficiency.iops_per_watt, b.efficiency.iops_per_watt);
+  EXPECT_EQ(a.efficiency.mbps_per_kilowatt, b.efficiency.mbps_per_kilowatt);
+  EXPECT_EQ(a.replay_duration, b.replay_duration);
+  EXPECT_EQ(a.bunches_replayed, b.bunches_replayed);
+  EXPECT_EQ(a.packages_replayed, b.packages_replayed);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.late_schedules, b.late_schedules);
+  ASSERT_EQ(a.power_series.size(), b.power_series.size());
+  for (std::size_t i = 0; i < a.power_series.size(); ++i) {
+    EXPECT_EQ(a.power_series[i].time, b.power_series[i].time);
+    EXPECT_EQ(a.power_series[i].volts, b.power_series[i].volts);
+    EXPECT_EQ(a.power_series[i].amps, b.power_series[i].amps);
+    EXPECT_EQ(a.power_series[i].watts, b.power_series[i].watts);
+    EXPECT_EQ(a.power_series[i].true_watts, b.power_series[i].true_watts);
+  }
+}
+
+const std::size_t kShardCounts[] = {1, 2, 4, 8};
+
+TEST(ShardedReplay, BitIdenticalToClassicOnHddArray) {
+  const trace::Trace trace = mixed_trace(400, 11);
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+  const ReplayReport classic = replay_classic(trace, config);
+  EXPECT_GT(classic.perf.completions, 0u);
+  for (const std::size_t shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions sharded;
+    sharded.shards = shards;
+    expect_identical(classic, replay_flat(trace, config, sharded));
+  }
+}
+
+TEST(ShardedReplay, BitIdenticalToClassicOnSsdArray) {
+  const trace::Trace trace = mixed_trace(400, 12);
+  const auto config = storage::ArrayConfig::ssd_testbed(4);
+  const ReplayReport classic = replay_classic(trace, config);
+  EXPECT_GT(classic.perf.completions, 0u);
+  for (const std::size_t shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions sharded;
+    sharded.shards = shards;
+    expect_identical(classic, replay_flat(trace, config, sharded));
+  }
+}
+
+TEST(ShardedReplay, PlannerThreadsDoNotChangeResults) {
+  // Plans computed on worker threads (forced >0 even on 1-core CI) must be
+  // the same bits as inline planning — the FIFO plan-ahead property.
+  const trace::Trace trace = mixed_trace(300, 13);
+  for (const auto& config : {storage::ArrayConfig::hdd_testbed(6),
+                             storage::ArrayConfig::ssd_testbed(4)}) {
+    const ReplayReport classic = replay_classic(trace, config);
+    for (const int planners : {1, 2}) {
+      SCOPED_TRACE(planners);
+      ShardedReplayOptions sharded;
+      sharded.shards = 4;
+      sharded.planner_threads = planners;
+      sharded.plan_block = 32;  // small blocks: more handoffs, same bits
+      expect_identical(classic, replay_flat(trace, config, sharded));
+    }
+  }
+}
+
+TEST(ShardedReplay, DegradedRaid5RebuildPathIsIdentical) {
+  // Degraded-mode replay: reconstructed reads fan out to n-1 members,
+  // writes take the reconstruct/parity-failed paths. Read-heavy and
+  // write-heavy mixes both compared through every shard count.
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+  for (const double read_ratio : {0.9, 0.1}) {
+    const trace::Trace trace = mixed_trace(250, 17, read_ratio);
+    const ReplayReport classic = replay_classic(trace, config, {}, 2);
+    for (const std::size_t shards : kShardCounts) {
+      SCOPED_TRACE(shards);
+      ShardedReplayOptions sharded;
+      sharded.shards = shards;
+      sharded.failed_disk = 2;
+      sharded.planner_threads = shards > 2 ? 1 : 0;
+      expect_identical(classic, replay_flat(trace, config, sharded));
+    }
+  }
+}
+
+TEST(ShardedReplay, Raid0DemotionAndSmallArrays) {
+  // disk_count < 3 demotes to RAID0 in DiskArray; the flat kernel must
+  // mirror that (and clamp shards to the disk count).
+  const trace::Trace trace = mixed_trace(200, 19);
+  auto config = storage::ArrayConfig::hdd_testbed(2);
+  const ReplayReport classic = replay_classic(trace, config);
+  ShardedReplayOptions sharded;
+  sharded.shards = 8;  // clamps to 2
+  expect_identical(classic, replay_flat(trace, config, sharded));
+}
+
+TEST(ShardedReplay, OptionVariantsStayIdentical) {
+  const trace::Trace trace = mixed_trace(300, 23);
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+
+  ReplayOptions scaled;
+  scaled.time_scale = 2.0;
+  scaled.max_duration = 0.2;
+  ShardedReplayOptions sharded;
+  sharded.shards = 4;
+  expect_identical(replay_classic(trace, config, scaled),
+                   replay_flat(trace, config, sharded, scaled));
+
+  ReplayOptions unwrapped;
+  unwrapped.wrap_addresses = true;
+  unwrapped.sampling_cycle = 0.05;
+  expect_identical(replay_classic(trace, config, unwrapped),
+                   replay_flat(trace, config, sharded, unwrapped));
+}
+
+TEST(ShardedReplay, CycleSnapshotsMatchClassic) {
+  const trace::Trace trace = mixed_trace(200, 29);
+  const auto config = storage::ArrayConfig::ssd_testbed(4);
+
+  auto run = [&](auto&& replayer) {
+    std::vector<CycleSnapshot> cycles;
+    ReplayOptions options;
+    options.sampling_cycle = 0.1;
+    options.on_cycle = [&cycles](const CycleSnapshot& s) {
+      cycles.push_back(s);
+    };
+    replayer(options);
+    return cycles;
+  };
+  const auto classic = run([&](const ReplayOptions& options) {
+    replay_classic(trace, config, options);
+  });
+  const auto flat = run([&](const ReplayOptions& options) {
+    ShardedReplayOptions sharded;
+    sharded.shards = 4;
+    sharded.planner_threads = 1;
+    replay_flat(trace, config, sharded, options);
+  });
+  ASSERT_EQ(classic.size(), flat.size());
+  ASSERT_GT(classic.size(), 1u);
+  for (std::size_t i = 0; i < classic.size(); ++i) {
+    EXPECT_EQ(classic[i].time, flat[i].time);
+    EXPECT_EQ(classic[i].iops, flat[i].iops);
+    EXPECT_EQ(classic[i].mbps, flat[i].mbps);
+    EXPECT_EQ(classic[i].watts, flat[i].watts);
+    EXPECT_EQ(classic[i].completions, flat[i].completions);
+    EXPECT_EQ(classic[i].in_flight, flat[i].in_flight);
+  }
+}
+
+TEST(ShardedReplay, LookDisciplineFallsBackAndStaysIdentical) {
+  // LOOK service order depends on queue-inspection timing, so the flat
+  // kernel routes it through the classic path — results still identical.
+  const trace::Trace trace = mixed_trace(150, 31);
+  auto config = storage::ArrayConfig::hdd_testbed(6);
+  config.hdd.discipline = storage::HddParams::Discipline::kLook;
+  const ReplayReport classic = replay_classic(trace, config);
+  ShardedReplayOptions sharded;
+  sharded.shards = 4;
+  expect_identical(classic, replay_flat(trace, config, sharded));
+}
+
+TEST(ShardedReplay, RejectsBadInput) {
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+  ReplayEngine engine;
+  EXPECT_THROW(engine.replay_sharded(trace::Trace{}, config),
+               std::invalid_argument);
+  auto degraded = ShardedReplayOptions{};
+  degraded.failed_disk = 6;  // out of range
+  const trace::Trace trace = mixed_trace(5, 37);
+  EXPECT_THROW(engine.replay_sharded(trace, config, degraded),
+               std::out_of_range);
+  auto raid0 = storage::ArrayConfig::hdd_testbed(2);  // demotes to RAID0
+  degraded.failed_disk = 0;
+  EXPECT_THROW(engine.replay_sharded(trace, raid0, degraded),
+               std::logic_error);
+}
+
+TEST(ShardedReplay, NoLateSchedulesOnWellFormedTrace) {
+  const trace::Trace trace = mixed_trace(200, 41);
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+  ShardedReplayOptions sharded;
+  sharded.shards = 4;
+  const ReplayReport report = replay_flat(trace, config, sharded);
+  EXPECT_EQ(report.late_schedules, 0u);
+  EXPECT_GT(report.events_dispatched, trace.bunches.size());
+}
+
+// ---------------------------------------------------------------------------
+// Capacity stability: steady-state replay must not grow the event queues
+// (the reserve() estimate covers the device's worst case).
+// ---------------------------------------------------------------------------
+
+TEST(ShardedReplay, ClassicKernelCapacityStableAcrossReplay) {
+  const trace::Trace trace = mixed_trace(300, 43);
+  ReplayEngine engine;
+  storage::DiskArray array(engine.simulator(),
+                           storage::ArrayConfig::hdd_testbed(6));
+  engine.replay(trace, array);
+  const std::size_t heap_after_first = engine.simulator().heap_capacity();
+  const std::size_t slots_after_first = engine.simulator().slot_capacity();
+  engine.replay(trace, array);
+  EXPECT_EQ(engine.simulator().heap_capacity(), heap_after_first);
+  EXPECT_EQ(engine.simulator().slot_capacity(), slots_after_first);
+}
+
+TEST(ShardedReplay, ShardedSimulatorCapacityStable) {
+  // Reserve covers the worst case, so a burst of schedules at the reserved
+  // level never reallocates.
+  sim::ShardedSimulator sim(4);
+  sim.reserve(64);
+  const std::size_t cap = sim.max_shard_capacity();
+  EXPECT_GE(cap, 64u);
+  for (int round = 0; round < 3; ++round) {
+    const Seconds base = static_cast<double>(round);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      sim.schedule(i % 4, base + 0.001 * (i + 1), 0, i, round);
+    }
+    sim::ShardEvent ev;
+    std::uint64_t last_seq = 0;
+    Seconds last_time = -1.0;
+    while (sim.pop(ev)) {
+      EXPECT_GE(ev.time, last_time);  // global (time, seq) order
+      if (ev.time == last_time) {
+        EXPECT_GT(ev.seq, last_seq);
+      }
+      last_time = ev.time;
+      last_seq = ev.seq;
+    }
+  }
+  EXPECT_EQ(sim.max_shard_capacity(), cap);
+  EXPECT_EQ(sim.late_schedule_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tracer::core
