@@ -1,0 +1,233 @@
+// Technique evaluation: controller cache + SSD tier as spin-down enablers.
+//
+// bench/technique_spindown shows timeout spin-down alone only pays off on
+// nearly-idle workloads — at web-server rates the inter-arrival gap never
+// exceeds the idle timeout and the disks stay hot. This bench runs the
+// full replay pipeline (ReplayEngine + warm-up window) over a read-heavy
+// hot-set workload and shows what the cache models add: once the hot set
+// is DRAM/tier-resident, only the cold tail touches the spindles, the
+// idle timeout finally expires, and the spin-down policy saves real power
+// at request rates where the media-direct model saves nothing.
+//
+// Variants per intensity: stock array, spin-down alone, write-back cache
+// alone, cache + spin-down, and a small-DRAM cache with an SSD tier +
+// spin-down. The guardrail (--guardrail=1, used by CI's bench-smoke job)
+// requires cache + spin-down to beat spin-down alone on IOPS/Watt at
+// every intensity.
+//
+// Flags: [--duration=SECS] [--warmup=SECS] [--guardrail=0|1]
+//        [--metrics-out=FILE]
+#include "bench_common.h"
+
+#include <cstring>
+#include <optional>
+
+#include "core/replay_engine.h"
+#include "obs/registry.h"
+#include "storage/disk_array.h"
+#include "storage/power_policy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tracer;
+
+const char* flag_value(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                       std::uint64_t fallback) {
+  const char* v = flag_value(argc, argv, name);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+double flag_double(int argc, char** argv, const char* name, double fallback) {
+  const char* v = flag_value(argc, argv, name);
+  return v ? std::strtod(v, nullptr) : fallback;
+}
+
+/// Web-server-shaped workload: 64 KiB reads (95 %), 98 % of requests to an
+/// 8-line hot set that fits any of the cache configurations, the rest
+/// scattered cold. Bunches arrive with exponential gaps at `iops`.
+trace::Trace hot_set_trace(double iops, Seconds duration,
+                           std::uint64_t seed) {
+  constexpr Sector kLineSectors = 128;  // 64 KiB lines
+  util::Rng rng(seed);
+  trace::Trace trace;
+  trace.device = "webserver-hotset";
+  Seconds t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / iops);
+    if (t >= duration) break;
+    trace::Bunch bunch;
+    bunch.timestamp = t;
+    trace::IoPackage pkg;
+    const bool hot = rng.chance(0.98);
+    pkg.sector = hot ? rng.below(8) * kLineSectors
+                     : (64 + rng.below(1ULL << 20)) * kLineSectors;
+    pkg.bytes = 64 * kKiB;
+    pkg.op = rng.chance(0.95) ? OpType::kRead : OpType::kWrite;
+    bunch.packages.push_back(pkg);
+    trace.bunches.push_back(std::move(bunch));
+  }
+  return trace;
+}
+
+enum class Variant { kStock, kSpindown, kCache, kCacheSpindown, kTierSpindown };
+
+constexpr const char* kVariantNames[] = {"stock", "spindown", "cache",
+                                         "cache+spin", "tier+spin"};
+
+bool has_cache(Variant v) { return v >= Variant::kCache; }
+bool has_policy(Variant v) {
+  return v == Variant::kSpindown || v == Variant::kCacheSpindown ||
+         v == Variant::kTierSpindown;
+}
+
+struct Outcome {
+  double avg_watts = 0.0;
+  double iops_per_watt = 0.0;
+  double avg_response_ms = 0.0;
+  double spin_ups = 0.0;
+  double hit_ratio = 0.0;
+};
+
+Outcome run(const trace::Trace& trace, Variant variant, Seconds duration,
+            Seconds warmup) {
+  core::ReplayOptions options;
+  options.warmup_window = warmup;
+  core::ReplayEngine engine(options);
+
+  auto config = storage::ArrayConfig::hdd_testbed(6);
+  if (has_cache(variant)) {
+    config.cache.enabled = true;
+    if (variant == Variant::kTierSpindown) {
+      // Deliberately undersized DRAM so the hot set spills into the SSD
+      // tier and the tier path carries real traffic.
+      config.cache.capacity = 256 * kKiB;  // 4 lines < the 8-line hot set
+      config.cache.tier_enabled = true;
+      config.cache.tier_capacity = 8 * kMiB;
+    }
+  }
+  storage::DiskArray array(engine.simulator(), config);
+
+  storage::SpinDownPolicyParams policy;
+  policy.idle_timeout = 10.0;
+  policy.min_active_disks = 1;  // MAID-style hot tier
+  std::optional<storage::SpinDownManager> manager;
+  if (has_policy(variant)) {
+    manager.emplace(engine.simulator(), array.hdd_disks(), policy);
+    manager->schedule(0.0, duration);
+  }
+
+  core::ReplayReport report;
+  Outcome outcome;
+  if (has_cache(variant)) {
+    storage::CacheTier cache(engine.simulator(), config.cache, array);
+    report = engine.replay(trace, cache);
+    const auto& stats = cache.stats();
+    const double lookups =
+        static_cast<double>(stats.hits + stats.tier_hits + stats.misses);
+    outcome.hit_ratio =
+        lookups > 0.0
+            ? static_cast<double>(stats.hits + stats.tier_hits) / lookups
+            : 0.0;
+  } else {
+    report = engine.replay(trace, array);
+  }
+
+  outcome.avg_watts = report.avg_watts;
+  outcome.iops_per_watt = report.efficiency.iops_per_watt;
+  outcome.avg_response_ms = report.perf.avg_response_ms;
+  std::uint64_t spin_ups = 0;
+  for (auto* disk : array.hdd_disks()) spin_ups += disk->spin_ups();
+  outcome.spin_ups = static_cast<double>(spin_ups);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tracer;
+  const Seconds duration = flag_double(argc, argv, "duration", 600.0);
+  const Seconds warmup = flag_double(argc, argv, "warmup", duration / 10.0);
+  const bool guardrail = flag_u64(argc, argv, "guardrail", 0) != 0;
+  const char* metrics_out = flag_value(argc, argv, "metrics-out");
+
+  bench::print_header(
+      "Technique evaluation — write-back cache / SSD tier as spin-down "
+      "enablers",
+      "caches shield the spindles, so spin-down saves power at request "
+      "rates where the media-direct model cannot");
+
+  util::Table table({"IOPS", "variant", "W", "IOPS/W", "ms", "spin-ups",
+                     "hit %"});
+  bool guard_ok = true;
+  std::vector<double> spindown_gain;   // cache+spin vs spin-down alone
+  std::vector<double> media_savings;   // spin-down alone vs stock
+  std::vector<double> hit_ratios;
+  for (double iops : {0.5, 2.0, 8.0}) {
+    const trace::Trace trace = hot_set_trace(iops, duration, 71);
+    Outcome outcomes[5];
+    for (int v = 0; v < 5; ++v) {
+      const auto variant = static_cast<Variant>(v);
+      outcomes[v] = run(trace, variant, duration, warmup);
+      table.row()
+          .add(iops, 1)
+          .add(kVariantNames[v])
+          .add(outcomes[v].avg_watts, 1)
+          .add(outcomes[v].iops_per_watt, 4)
+          .add(outcomes[v].avg_response_ms, 2)
+          .add(outcomes[v].spin_ups, 0)
+          .add(outcomes[v].hit_ratio * 100.0, 1)
+          .done();
+    }
+    const Outcome& stock = outcomes[0];
+    const Outcome& spin = outcomes[1];
+    const Outcome& cache_spin = outcomes[3];
+    const Outcome& tier_spin = outcomes[4];
+    media_savings.push_back((stock.avg_watts - spin.avg_watts) /
+                            stock.avg_watts * 100.0);
+    spindown_gain.push_back((spin.avg_watts - cache_spin.avg_watts) /
+                            spin.avg_watts * 100.0);
+    hit_ratios.push_back(cache_spin.hit_ratio);
+    hit_ratios.push_back(tier_spin.hit_ratio);
+    if (!(cache_spin.iops_per_watt > spin.iops_per_watt)) guard_ok = false;
+  }
+  table.print(std::cout);
+
+  bool all_media_small = true;
+  for (double s : media_savings) all_media_small = all_media_small && s < 10.0;
+  // Cold-tail wakes erode the saving as intensity rises (the spin-up
+  // thrash a designer uses this table to spot), so the bar tapers: big
+  // cuts at web-server rates, still a real cut at the top intensity.
+  bool gain_shape = spindown_gain.size() == 3 && spindown_gain[0] > 30.0 &&
+                    spindown_gain[1] > 30.0 && spindown_gain[2] > 10.0;
+  bool all_hot = true;
+  for (double h : hit_ratios) all_hot = all_hot && h > 0.9;
+
+  bench::print_verdict(all_media_small,
+                       "media-direct spin-down saves <10 % at these rates "
+                       "(gaps never reach the idle timeout)");
+  bench::print_verdict(gain_shape,
+                       "cache + spin-down cuts >30 % of the spin-down-only "
+                       "power at low/mid intensity, >10 % at the top rate");
+  bench::print_verdict(all_hot,
+                       "hot set stays cache/tier-resident (hit ratio >90 %)");
+  bench::print_verdict(guard_ok,
+                       "guardrail: cache + spin-down beats spin-down alone "
+                       "on IOPS/Watt at every intensity");
+
+  if (metrics_out != nullptr) {
+    obs::Registry::global().snapshot().write_json(metrics_out);
+    std::printf("obs snapshot -> %s\n", metrics_out);
+  }
+  return guardrail && !guard_ok ? 1 : 0;
+}

@@ -14,6 +14,9 @@ ReplayEngine::ReplayEngine(const ReplayOptions& options)
   if (!(options_.time_scale > 0.0) || !(options_.sampling_cycle > 0.0)) {
     throw std::invalid_argument("ReplayEngine: bad time scale or cycle");
   }
+  if (options_.warmup_window < 0.0) {
+    throw std::invalid_argument("ReplayEngine: negative warmup_window");
+  }
 }
 
 Sector wrap_sector(Sector sector, Bytes bytes, Bytes capacity) {
@@ -32,7 +35,8 @@ Sector wrap_sector(Sector sector, Bytes bytes, Bytes capacity) {
 
 void ReplayEngine::schedule_bunch(const trace::TraceSource& source,
                                   std::size_t index,
-                                  storage::BlockDevice& device) {
+                                  storage::BlockDevice& device,
+                                  Seconds warm_end) {
   if (index >= source.bunch_count()) {
     trace_exhausted_ = true;
     return;
@@ -42,8 +46,16 @@ void ReplayEngine::schedule_bunch(const trace::TraceSource& source,
     trace_exhausted_ = true;
     return;
   }
-  auto issue = [this, &source, index, &device] {
-    ++bunches_submitted_;
+  auto issue = [this, &source, index, &device, warm_end] {
+    // Warm-up bunches populate device state (caches, tiers) but stay out of
+    // the perf metrics; classification is by submit time, matching the
+    // sharded kernel. With warmup_window == 0 this is always true.
+    const bool measured = !(sim_.now() < warm_end);
+    if (measured) {
+      ++bunches_submitted_;
+    } else {
+      ++warmup_bunches_;
+    }
     // Concurrent packages of a bunch are submitted in parallel (§IV-A).
     // For a window-backed source this is the only packages() call for
     // this index, strictly in order — the sliding-window contract.
@@ -57,14 +69,19 @@ void ReplayEngine::schedule_bunch(const trace::TraceSource& source,
       request.bytes = pkg.bytes;
       request.op = pkg.op;
       ++packages_in_flight_;
-      ++packages_submitted_;
+      if (measured) {
+        ++packages_submitted_;
+      } else {
+        ++warmup_packages_;
+      }
       max_in_flight_ = std::max(max_in_flight_, packages_in_flight_);
-      device.submit(request, [this](const storage::IoCompletion& completion) {
+      device.submit(request, [this, measured](
+                                 const storage::IoCompletion& completion) {
         --packages_in_flight_;
-        monitor_.on_complete(completion);
+        if (measured) monitor_.on_complete(completion);
       });
     }
-    schedule_bunch(source, index + 1, device);
+    schedule_bunch(source, index + 1, device, warm_end);
   };
   // The hot loop's own event kind must never heap-allocate (§perf): the
   // closure has to fit the simulator Action's inline buffer.
@@ -101,10 +118,27 @@ ReplayReport ReplayEngine::replay(
   packages_in_flight_ = 0;
   packages_submitted_ = 0;
   bunches_submitted_ = 0;
+  warmup_packages_ = 0;
+  warmup_bunches_ = 0;
   max_in_flight_ = 0;
   trace_exhausted_ = false;
   const std::uint64_t events_before = sim_.events_dispatched();
   const std::uint64_t late_before = sim_.late_schedule_count();
+
+  Seconds effective_window = source.duration() / options_.time_scale;
+  if (options_.max_duration > 0.0) {
+    effective_window = std::min(effective_window, options_.max_duration);
+  }
+  if (options_.warmup_window > 0.0 &&
+      options_.warmup_window >= effective_window) {
+    throw std::invalid_argument(
+        "ReplayEngine: warmup_window must be shorter than the replayed "
+        "window");
+  }
+  // Measurement opens at the warm-up boundary; with warmup_window == 0 this
+  // is sim_.now() and the whole path below is identical to a warmup-free
+  // replay.
+  const Seconds warm_end = sim_.now() + options_.warmup_window;
 
   power::PowerAnalyzer analyzer(options_.sampling_cycle, options_.sensor,
                                 options_.sensor_seed);
@@ -115,7 +149,14 @@ ReplayReport ReplayEngine::replay(
     }
     analyzer.add_channel(*source);
   }
-  analyzer.start(sim_.now());
+  if (options_.warmup_window > 0.0) {
+    // Re-starting at the boundary zeroes every channel's energy baseline,
+    // so joules/avg_watts cover only the measured window.
+    sim_.schedule_at(warm_end,
+                     [&analyzer, warm_end] { analyzer.start(warm_end); });
+  } else {
+    analyzer.start(sim_.now());
+  }
 
   // Self-perpetuating sampler: keeps metering until the replay has drained.
   // Stored in a struct so the lambda can reschedule itself.
@@ -154,14 +195,14 @@ ReplayReport ReplayEngine::replay(
     }
   };
   Sampler sampler{this, &analyzer, options_.sampling_cycle, 0, 0};
-  sampler.arm(sim_.now() + options_.sampling_cycle);
+  sampler.arm(warm_end + options_.sampling_cycle);
 
   // Steady state keeps one bunch event, one sampler event, and the in-
   // flight completions queued; reserve the device's own worst-case estimate
   // so scheduling never reallocates mid-replay (the capacity-stability
   // regression test replays twice and asserts no growth).
   sim_.reserve(std::max<std::size_t>(256, device.max_concurrent_events() + 64));
-  schedule_bunch(source, 0, device);
+  schedule_bunch(source, 0, device, warm_end);
   sim_.run();
 
   const Seconds end = sim_.now();
@@ -183,10 +224,12 @@ ReplayReport ReplayEngine::replay(
     static auto& packages = reg.counter("replay.packages");
     static auto& events = reg.counter("replay.events_scheduled");
     static auto& late = reg.counter("replay.events_late");
+    static auto& warmup = reg.counter("replay.warmup_packages");
     static auto& depth = reg.gauge("replay.max_in_flight");
     runs.increment();
-    bunches.add(bunches_submitted_);
-    packages.add(packages_submitted_);
+    bunches.add(bunches_submitted_ + warmup_bunches_);
+    packages.add(packages_submitted_ + warmup_packages_);
+    warmup.add(warmup_packages_);
     events.add(sim_.events_dispatched() - events_before);
     late.add(sim_.late_schedule_count() - late_before);
     depth.update_max(static_cast<double>(max_in_flight_));
@@ -202,14 +245,19 @@ ReplayReport ReplayEngine::assemble_report(const trace::TraceSource& source,
   report.replay_duration = end;
   report.bunches_replayed = bunches_submitted_;
   report.packages_replayed = packages_submitted_;
+  report.warmup_bunches = warmup_bunches_;
+  report.warmup_packages = warmup_packages_;
   // Rates are computed over the trace's own window (filtering preserves
   // timestamps, so original and manipulated traces share this window);
   // completions that drain past the window still count. Using the drain-
   // inclusive end instead would deflate T(f) at saturation and corrupt the
-  // eq. 1 load proportions.
-  Seconds trace_window = source.duration() / options_.time_scale;
+  // eq. 1 load proportions. The warm-up prefix is not part of the measured
+  // window (its completions were never fed to the monitor).
+  Seconds trace_window =
+      source.duration() / options_.time_scale - options_.warmup_window;
   if (options_.max_duration > 0.0) {
-    trace_window = std::min(trace_window, options_.max_duration);
+    trace_window =
+        std::min(trace_window, options_.max_duration - options_.warmup_window);
   }
   trace_window = std::max(trace_window, options_.sampling_cycle);
   report.perf = monitor_.report(trace_window);

@@ -55,6 +55,14 @@ struct ReplayOptions {
   double time_scale = 1.0;       ///< >1 compresses gaps (Fig 2 supplement)
   bool wrap_addresses = true;    ///< fold trace sectors into the device
   Seconds max_duration = 0.0;    ///< 0 = whole trace; else truncate
+  /// Replay this prefix of the (scaled) trace to populate device state —
+  /// controller caches, tier contents — before measurement starts (2DIO's
+  /// point: replayed metrics are wrong unless cache state is realistic).
+  /// Warm-up I/O is issued normally but excluded from perf metrics, and the
+  /// power window opens at the warm-up boundary. Requests are classified by
+  /// submit time. 0 disables warm-up and is bit-identical to not having the
+  /// option at all. Must be shorter than the replayed window.
+  Seconds warmup_window = 0.0;
   power::HallSensorParams sensor;  ///< meter model for the power channel
   std::uint64_t sensor_seed = 99;
   /// Invoked at every sampling-cycle boundary during replay (live
@@ -76,6 +84,10 @@ struct ReplayReport {
   Seconds replay_duration = 0.0;
   std::uint64_t bunches_replayed = 0;
   std::uint64_t packages_replayed = 0;
+  /// Bunches/packages issued inside the warm-up window (excluded from the
+  /// perf metrics above; zero when ReplayOptions::warmup_window is 0).
+  std::uint64_t warmup_bunches = 0;
+  std::uint64_t warmup_packages = 0;
   /// DES events fired while this replay ran (both kernels report it).
   std::uint64_t events_dispatched = 0;
   /// Events scheduled at a time already in the past and clamped to now().
@@ -168,7 +180,7 @@ class ReplayEngine {
   friend class ShardedReplayKernel;  // replay_sharded.cpp implementation
 
   void schedule_bunch(const trace::TraceSource& source, std::size_t index,
-                      storage::BlockDevice& device);
+                      storage::BlockDevice& device, Seconds warm_end);
 
   /// Build the ReplayReport both kernels share: perf over the trace window,
   /// channel-0 power statistics, extra channels, efficiency. Reads
@@ -185,6 +197,8 @@ class ReplayEngine {
   std::uint64_t packages_in_flight_ = 0;
   std::uint64_t packages_submitted_ = 0;
   std::uint64_t bunches_submitted_ = 0;
+  std::uint64_t warmup_packages_ = 0;
+  std::uint64_t warmup_bunches_ = 0;
   std::uint64_t max_in_flight_ = 0;  ///< peak queue depth this replay
   bool trace_exhausted_ = false;
 };

@@ -70,6 +70,7 @@ enum : std::uint32_t {
   kEvDegenerate = 3,  // degraded-corner txn with nothing physical to do
   kEvHddDone = 4,     // HDD disk a finished op b
   kEvSsdDone = 5,     // SSD disk a finished op b
+  kEvStartMeasure = 6,  // warm-up boundary: open the analyzer window
 };
 
 /// One child operation in a per-disk log. The coordinator writes the
@@ -316,19 +317,44 @@ class ShardedReplayKernel {
     engine_.packages_in_flight_ = 0;
     engine_.packages_submitted_ = 0;
     engine_.bunches_submitted_ = 0;
+    engine_.warmup_packages_ = 0;
+    engine_.warmup_bunches_ = 0;
     engine_.max_in_flight_ = 0;
     engine_.trace_exhausted_ = false;
+
+    // Same warm-up validation and boundary arithmetic as the classic
+    // kernel (replay_engine.cpp), so the two kernels throw and measure
+    // identically.
+    Seconds effective_window =
+        source_.duration() / engine_.options_.time_scale;
+    if (engine_.options_.max_duration > 0.0) {
+      effective_window =
+          std::min(effective_window, engine_.options_.max_duration);
+    }
+    if (engine_.options_.warmup_window > 0.0 &&
+        engine_.options_.warmup_window >= effective_window) {
+      throw std::invalid_argument(
+          "ReplayEngine: warmup_window must be shorter than the replayed "
+          "window");
+    }
+    warm_end_ = ssim_.now() + engine_.options_.warmup_window;
 
     power::PowerAnalyzer analyzer(engine_.options_.sampling_cycle,
                                   engine_.options_.sensor,
                                   engine_.options_.sensor_seed);
     analyzer.add_channel(power_);
-    analyzer.start(ssim_.now());
     analyzer_ = &analyzer;
 
-    // Same global-sequence assignment order as the classic kernel: the
-    // sampler's first tick takes seq 0, bunch 0 takes seq 1.
-    ssim_.schedule(0, ssim_.now() + engine_.options_.sampling_cycle,
+    // Same global-sequence assignment order as the classic kernel. Without
+    // warm-up: the sampler's first tick takes seq 0, bunch 0 takes seq 1.
+    // With warm-up the classic kernel schedules the analyzer-start event
+    // first, so here kEvStartMeasure takes seq 0.
+    if (engine_.options_.warmup_window > 0.0) {
+      ssim_.schedule(0, warm_end_, kEvStartMeasure);
+    } else {
+      analyzer.start(ssim_.now());
+    }
+    ssim_.schedule(0, warm_end_ + engine_.options_.sampling_cycle,
                    kEvSampler);
     const std::size_t per_disk =
         hdd_ ? 2 : config_.ssd.channels + 1;
@@ -359,6 +385,9 @@ class ShardedReplayKernel {
             break;
           case kEvSsdDone:
             on_ssd_done(ev.a, ev.b);
+            break;
+          case kEvStartMeasure:
+            analyzer_->start(ev.time);
             break;
           default:
             throw std::logic_error("replay_sharded: unknown event kind");
@@ -403,7 +432,14 @@ class ShardedReplayKernel {
   }
 
   void on_bunch(std::size_t index) {
-    ++engine_.bunches_submitted_;
+    // Same submit-time warm-up classification as the classic kernel's
+    // schedule_bunch.
+    const bool measured = !(ssim_.now() < warm_end_);
+    if (measured) {
+      ++engine_.bunches_submitted_;
+    } else {
+      ++engine_.warmup_bunches_;
+    }
     for (const auto& pkg : source_.packages(index)) {
       const std::uint64_t id = engine_.next_id_++;
       const Sector sector =
@@ -411,7 +447,11 @@ class ShardedReplayKernel {
               ? wrap_sector(pkg.sector, pkg.bytes, geometry_.capacity())
               : pkg.sector;
       ++engine_.packages_in_flight_;
-      ++engine_.packages_submitted_;
+      if (measured) {
+        ++engine_.packages_submitted_;
+      } else {
+        ++engine_.warmup_packages_;
+      }
       engine_.max_in_flight_ =
           std::max(engine_.max_in_flight_, engine_.packages_in_flight_);
       controller_submit(id, sector, pkg.bytes, pkg.op);
@@ -778,7 +818,12 @@ class ShardedReplayKernel {
       storage::IoCompletion completion{m.id, m.submit_time, finish, m.bytes,
                                        m.op};
       --engine_.packages_in_flight_;
-      engine_.monitor_.on_complete(completion);
+      // Warm-up completions drained the device but never feed the monitor —
+      // the same submit-time gate the classic kernel applies per bunch
+      // (members of one bunch share their submit time).
+      if (!(m.submit_time < warm_end_)) {
+        engine_.monitor_.on_complete(completion);
+      }
     }
     free_txn(t);
   }
@@ -1058,10 +1103,12 @@ class ShardedReplayKernel {
     static auto& l_packages = reg.counter("replay.packages");
     static auto& l_events = reg.counter("replay.events_scheduled");
     static auto& l_late = reg.counter("replay.events_late");
+    static auto& l_warmup = reg.counter("replay.warmup_packages");
     static auto& l_depth = reg.gauge("replay.max_in_flight");
     l_runs.increment();
-    l_bunches.add(engine_.bunches_submitted_);
-    l_packages.add(engine_.packages_submitted_);
+    l_bunches.add(engine_.bunches_submitted_ + engine_.warmup_bunches_);
+    l_packages.add(engine_.packages_submitted_ + engine_.warmup_packages_);
+    l_warmup.add(engine_.warmup_packages_);
     l_events.add(ssim_.events_dispatched());
     l_late.add(ssim_.late_schedule_count());
     l_depth.update_max(static_cast<double>(engine_.max_in_flight_));
@@ -1132,6 +1179,9 @@ class ShardedReplayKernel {
   // Sampler state
   std::uint64_t last_completions_ = 0;
   Bytes last_bytes_ = 0;
+
+  // Warm-up boundary (replay start when warmup_window == 0).
+  Seconds warm_end_ = 0.0;
 };
 
 ReplayReport ReplayEngine::replay_sharded(const trace::TraceSource& source,
@@ -1142,6 +1192,23 @@ ReplayReport ReplayEngine::replay_sharded(const trace::TraceSource& source,
   }
   if (config.disk_count == 0) {
     throw std::logic_error("DiskArray: no disks installed");
+  }
+  // A controller cache changes the data path itself (requests may never
+  // reach the media), so a cache-enabled config replays through the classic
+  // kernel wrapped in a CacheTier — the exact construction the classic API
+  // user would write, so metrics are identical by construction. The flat
+  // kernel stays the media-direct fast path.
+  if (config.cache.enabled) {
+    static auto& cache_fallbacks =
+        obs::Registry::global().counter("replay.shard.cache_fallbacks");
+    cache_fallbacks.increment();
+    storage::DiskArray array(sim_, config);
+    if (sharded.failed_disk >= 0) {
+      array.controller().fail_disk(
+          static_cast<std::size_t>(sharded.failed_disk));
+    }
+    storage::CacheTier cache(sim_, config.cache, array);
+    return replay(source, cache);
   }
   // The flat kernel assumes FIFO service order (plans are computed in
   // append order). LOOK arrays — and geometries whose extents overflow the

@@ -98,8 +98,11 @@ void PowerAnalyzer::sample_at(Seconds t) {
 void PowerAnalyzer::schedule_sampling(sim::Simulator& sim, Seconds t_start,
                                       Seconds t_end) {
   sim.schedule_at(t_start, [this, t_start] { start(t_start); });
-  const auto cycles =
-      static_cast<std::uint64_t>(std::floor((t_end - t_start) / cycle_));
+  // Epsilon-tolerant: when the window is an exact multiple of the cycle,
+  // FP division can land just below the integer (0.7 / 0.1 == 6.999...)
+  // and a bare floor would drop the sample at t_end.
+  const auto cycles = static_cast<std::uint64_t>(
+      std::floor((t_end - t_start) / cycle_ + 1e-9));
   for (std::uint64_t i = 1; i <= cycles; ++i) {
     const Seconds t = t_start + static_cast<double>(i) * cycle_;
     sim.schedule_at(t, [this, t] { sample_at(t); });

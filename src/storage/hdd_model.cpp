@@ -52,6 +52,10 @@ void HddModel::spin_up() {
   ++spin_ups_;
   const std::uint64_t epoch = ++spin_up_epoch_;
   const Seconds t0 = sim_.now();
+  // The base must rise to idle_watts for the whole kSpinningUp window; the
+  // surge pulse is *additive*, so leaving the base at standby_watts would
+  // under-count every wake-up by (idle - standby) x spin_up_time joules.
+  // Pinned by PowerPolicyTest.WakeCycleEnergyExactJoules.
   timeline_.set_base(t0, params_.idle_watts);
   timeline_.add_pulse(t0, t0 + params_.spin_up_time,
                       params_.spin_up_extra_watts);

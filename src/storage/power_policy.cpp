@@ -1,5 +1,6 @@
 #include "storage/power_policy.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,6 +19,7 @@ SpinDownManager::SpinDownManager(sim::Simulator& sim,
       throw std::invalid_argument("SpinDownManager: null disk");
     }
   }
+  victims_.reserve(disks_.size());
 }
 
 std::size_t SpinDownManager::active_disks() const {
@@ -30,18 +32,46 @@ std::size_t SpinDownManager::active_disks() const {
 
 void SpinDownManager::evaluate() {
   const Seconds now = sim_.now();
+  // Count the always-hot floor against disks that are actually spinning and
+  // ready (kActive), not merely "not standby": a kSpinningUp disk is 6 s
+  // away from serving its first request, so letting it hold a floor slot
+  // would allow the last responsive disk to be spun down.
+  std::size_t ready = 0;
+  victims_.clear();
   for (auto* disk : disks_) {
-    if (active_disks() <= params_.min_active_disks) return;
     if (disk->power_state() != HddModel::PowerState::kActive) continue;
+    ++ready;
     if (now - disk->last_activity() >= params_.idle_timeout) {
-      if (disk->spin_down()) ++spin_downs_;
+      victims_.push_back(disk);
+    }
+  }
+  if (ready <= params_.min_active_disks) return;
+  std::size_t budget = ready - params_.min_active_disks;
+  // Deterministic victim order: least-recent activity first, so the disks
+  // kept hot are the most recently used ones — MAID's cache-tier intent —
+  // regardless of how the caller ordered the disk vector. Ties (e.g. a
+  // freshly built array where every disk has last_activity == 0) fall back
+  // to the stable disk order for reproducibility.
+  std::stable_sort(victims_.begin(), victims_.end(),
+                   [](const HddModel* a, const HddModel* b) {
+                     return a->last_activity() < b->last_activity();
+                   });
+  for (auto* disk : victims_) {
+    if (budget == 0) break;
+    if (disk->spin_down()) {
+      ++spin_downs_;
+      --budget;
     }
   }
 }
 
 void SpinDownManager::schedule(Seconds t_start, Seconds t_end) {
+  // Epsilon-tolerant count: (t_end - t_start) / check_period lands just
+  // below an integer when the quotient is exact in real arithmetic but
+  // perturbed by FP (0.7 / 0.1 == 6.999...), and a bare floor would then
+  // silently drop the policy check at t_end itself.
   const auto checks = static_cast<std::uint64_t>(
-      std::floor((t_end - t_start) / params_.check_period));
+      std::floor((t_end - t_start) / params_.check_period + 1e-9));
   for (std::uint64_t i = 1; i <= checks; ++i) {
     const Seconds t = t_start + static_cast<double>(i) * params_.check_period;
     sim_.schedule_at(t, [this] { evaluate(); });

@@ -45,6 +45,7 @@ class SpinDownManager {
   std::vector<HddModel*> disks_;
   SpinDownPolicyParams params_;
   std::uint64_t spin_downs_ = 0;
+  std::vector<HddModel*> victims_;  ///< scratch for evaluate(), no per-tick alloc
 };
 
 }  // namespace tracer::storage

@@ -125,6 +125,19 @@ TEST(PowerAnalyzer, ScheduleSamplingOnSimulator) {
   EXPECT_DOUBLE_EQ(analyzer.report(0).mean_watts(), 7.0);
 }
 
+TEST(PowerAnalyzer, ScheduleSamplingKeepsSampleAtExactWindowEnd) {
+  // 0.7 / 0.1 == 6.999... in binary floating point; a bare floor would
+  // schedule only 6 samples and drop the one at t_end, shorting the
+  // measured window by a full cycle.
+  FakeSource source("fp-edge", 11.0);
+  PowerAnalyzer analyzer(0.1, perfect_sensor());
+  analyzer.add_channel(source);
+  sim::Simulator sim;
+  analyzer.schedule_sampling(sim, 0.0, 0.7);
+  sim.run();
+  EXPECT_EQ(analyzer.report(0).samples.size(), 7u);
+}
+
 TEST(PowerAnalyzer, ResetClearsSamplesKeepsChannels) {
   FakeSource source("r", 3.0);
   PowerAnalyzer analyzer(1.0, perfect_sensor());

@@ -65,6 +65,24 @@ TEST(HddPowerStates, SpinUpConsumesSurgeEnergy) {
               1e-6);
 }
 
+TEST(HddPowerStates, WakeCycleEnergyExactJoules) {
+  // Full idle -> standby -> spin-up cycle, energy pinned to exact joules.
+  // The base must sit at idle_watts (not standby_watts) for the whole
+  // kSpinningUp window; with the defaults (idle 8 W, standby 1.2 W,
+  // spin-up 6 s) a standby-base would under-count by 6.8 x 6 = 40.8 J.
+  sim::Simulator sim;
+  HddParams params;
+  HddModel hdd(sim, params, 1);
+  sim.schedule_at(10.0, [&] { ASSERT_TRUE(hdd.spin_down()); });
+  sim.schedule_at(20.0, [&] { hdd.spin_up(); });
+  sim.run();
+  EXPECT_EQ(hdd.power_state(), HddModel::PowerState::kActive);
+  const Joules expected =
+      10.0 * params.idle_watts + 10.0 * params.standby_watts +
+      params.spin_up_time * (params.idle_watts + params.spin_up_extra_watts);
+  EXPECT_NEAR(hdd.energy_until(20.0 + params.spin_up_time), expected, 1e-9);
+}
+
 TEST(HddPowerStates, RedundantSpinUpIsNoop) {
   sim::Simulator sim;
   HddModel hdd(sim, HddParams{}, 1);
@@ -108,6 +126,72 @@ TEST(SpinDownManager, MinActiveDisksFloorIsRespected) {
   sim.run();
   EXPECT_EQ(manager.active_disks(), 2u);
   EXPECT_EQ(manager.spin_downs(), 4u);
+}
+
+TEST(SpinDownManager, VictimsPickedByLeastRecentActivityNotVectorOrder) {
+  // Three disks last touched at t=1 (A), t=2 (B), t=3 (C), handed to the
+  // manager in the order [C, A, B]. With an always-hot floor of 2 only one
+  // disk may spin down, and it must be A — the least recently used — not C,
+  // which merely happens to come first in the vector.
+  sim::Simulator sim;
+  HddParams hdd_params;
+  HddModel a(sim, hdd_params, 0), b(sim, hdd_params, 1), c(sim, hdd_params, 2);
+  auto touch = [&](HddModel& disk, Seconds at) {
+    sim.schedule_at(at, [&disk] {
+      disk.submit(IoRequest{1, 0, 4096, OpType::kRead},
+                  [](const IoCompletion&) {});
+    });
+  };
+  touch(a, 1.0);
+  touch(b, 2.0);
+  touch(c, 3.0);
+  SpinDownPolicyParams params;
+  params.idle_timeout = 5.0;
+  params.min_active_disks = 2;
+  SpinDownManager manager(sim, {&c, &a, &b}, params);
+  sim.schedule_at(10.0, [&] { manager.evaluate(); });
+  sim.run();
+  EXPECT_EQ(manager.spin_downs(), 1u);
+  EXPECT_EQ(a.power_state(), HddModel::PowerState::kStandby);
+  EXPECT_EQ(b.power_state(), HddModel::PowerState::kActive);
+  EXPECT_EQ(c.power_state(), HddModel::PowerState::kActive);
+}
+
+TEST(SpinDownManager, SpinningUpDiskDoesNotHoldFloorSlot) {
+  // A kSpinningUp disk cannot serve requests yet, so it must not count
+  // toward min_active_disks: with a floor of 1 and the only ready disk
+  // being disk B, B has to stay hot even though the array nominally has
+  // two non-standby drives.
+  sim::Simulator sim;
+  HddParams hdd_params;
+  HddModel a(sim, hdd_params, 0), b(sim, hdd_params, 1);
+  ASSERT_TRUE(a.spin_down());
+  a.spin_up();  // kSpinningUp until t = spin_up_time (6 s)
+  SpinDownPolicyParams params;
+  params.idle_timeout = 1.0;
+  params.min_active_disks = 1;
+  SpinDownManager manager(sim, {&a, &b}, params);
+  sim.schedule_at(2.0, [&] { manager.evaluate(); });
+  sim.run();
+  EXPECT_EQ(manager.spin_downs(), 0u);
+  EXPECT_EQ(b.power_state(), HddModel::PowerState::kActive);
+}
+
+TEST(SpinDownManager, ScheduleKeepsCheckAtExactWindowEnd) {
+  // 0.7 / 0.1 == 6.999... in binary floating point; a bare floor drops the
+  // evaluation at t_end and a disk that crosses the idle threshold exactly
+  // there is never spun down.
+  sim::Simulator sim;
+  HddParams hdd_params;
+  HddModel disk(sim, hdd_params, 0);
+  SpinDownPolicyParams params;
+  params.idle_timeout = 0.65;
+  params.check_period = 0.1;
+  SpinDownManager manager(sim, {&disk}, params);
+  manager.schedule(0.0, 0.7);
+  sim.run();
+  EXPECT_EQ(manager.spin_downs(), 1u);
+  EXPECT_EQ(disk.power_state(), HddModel::PowerState::kStandby);
 }
 
 TEST(SpinDownManager, BusyDisksAreNotSpunDown) {

@@ -95,6 +95,8 @@ void expect_identical(const ReplayReport& a, const ReplayReport& b) {
   EXPECT_EQ(a.replay_duration, b.replay_duration);
   EXPECT_EQ(a.bunches_replayed, b.bunches_replayed);
   EXPECT_EQ(a.packages_replayed, b.packages_replayed);
+  EXPECT_EQ(a.warmup_bunches, b.warmup_bunches);
+  EXPECT_EQ(a.warmup_packages, b.warmup_packages);
   EXPECT_EQ(a.events_dispatched, b.events_dispatched);
   EXPECT_EQ(a.late_schedules, b.late_schedules);
   ASSERT_EQ(a.power_series.size(), b.power_series.size());
@@ -133,6 +135,28 @@ TEST(ShardedReplay, BitIdenticalToClassicOnSsdArray) {
     sharded.shards = shards;
     expect_identical(classic, replay_flat(trace, config, sharded));
   }
+}
+
+TEST(ShardedReplay, GoldenCacheDisabledMetricsUnchanged) {
+  // Golden anchor for the cache-disabled default path: these literals were
+  // produced by the kernels BEFORE CacheTier/warm-up landed and must never
+  // move while cache.enabled is false and warmup_window is 0 — new options
+  // have to be invisible when off. Bits, not tolerances.
+  const trace::Trace trace = mixed_trace(200, 101);
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+  const ReplayReport classic = replay_classic(trace, config);
+  ShardedReplayOptions sharded;
+  sharded.shards = 4;
+  const ReplayReport flat = replay_flat(trace, config, sharded);
+  expect_identical(classic, flat);
+  EXPECT_EQ(classic.perf.completions, 499u);
+  EXPECT_EQ(classic.joules, 272.04127048099122);
+  EXPECT_EQ(classic.avg_watts, 90.740000000000009);
+  EXPECT_EQ(classic.perf.avg_response_ms, 1122.5210565959744);
+  EXPECT_EQ(classic.perf.iops, 499.0);
+  EXPECT_EQ(classic.replay_duration, 3.0);
+  EXPECT_EQ(classic.warmup_bunches, 0u);
+  EXPECT_EQ(classic.warmup_packages, 0u);
 }
 
 TEST(ShardedReplay, PlannerThreadsDoNotChangeResults) {
@@ -200,6 +224,72 @@ TEST(ShardedReplay, OptionVariantsStayIdentical) {
   unwrapped.sampling_cycle = 0.05;
   expect_identical(replay_classic(trace, config, unwrapped),
                    replay_flat(trace, config, sharded, unwrapped));
+}
+
+TEST(ShardedReplay, WarmupWindowStaysIdentical) {
+  // Warm-up classification happens per submit in both kernels; the boundary
+  // event, sampler phase, and measured-window arithmetic must line up so
+  // the reports stay the same bits.
+  const trace::Trace trace = mixed_trace(400, 31);
+  const auto config = storage::ArrayConfig::hdd_testbed(6);
+  ReplayOptions options;
+  options.warmup_window = 0.25;
+  const ReplayReport classic = replay_classic(trace, config, options);
+  EXPECT_GT(classic.warmup_bunches, 0u);
+  EXPECT_GT(classic.perf.completions, 0u);
+  for (const std::size_t shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions sharded;
+    sharded.shards = shards;
+    expect_identical(classic, replay_flat(trace, config, sharded, options));
+  }
+}
+
+TEST(ShardedReplay, CacheEnabledConfigMatchesExplicitWrap) {
+  // A cache-enabled config routes replay_sharded through the classic kernel
+  // with a CacheTier wrapped around the array; the result must equal a
+  // caller-built wrap, bit for bit, and actually exercise the cache.
+  const trace::Trace trace = mixed_trace(300, 37, 0.7);
+  auto config = storage::ArrayConfig::hdd_testbed(6);
+  config.cache.enabled = true;
+  config.cache.capacity = 2 * kMiB;  // 32 lines: forces evictions + flushes
+  config.cache.tier_enabled = true;
+  config.cache.tier_capacity = 1 * kMiB;
+
+  ReplayEngine engine;
+  storage::DiskArray array(engine.simulator(), config);
+  storage::CacheTier cache(engine.simulator(), config.cache, array);
+  const ReplayReport classic = engine.replay(trace, cache);
+  EXPECT_GT(cache.stats().hits + cache.stats().misses, 0u);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions sharded;
+    sharded.shards = shards;
+    expect_identical(classic, replay_flat(trace, config, sharded));
+  }
+}
+
+TEST(ShardedReplay, CacheEnabledWarmupStaysIdentical) {
+  // Warm-up plus cache is the 2DIO scenario the option exists for: the
+  // prefix populates the cache, measurement starts warm. Both entry points
+  // must agree bit for bit.
+  const trace::Trace trace = mixed_trace(300, 41, 0.8);
+  auto config = storage::ArrayConfig::hdd_testbed(6);
+  config.cache.enabled = true;
+  config.cache.capacity = 4 * kMiB;
+  ReplayOptions options;
+  options.warmup_window = 0.2;
+
+  ReplayEngine engine(options);
+  storage::DiskArray array(engine.simulator(), config);
+  storage::CacheTier cache(engine.simulator(), config.cache, array);
+  const ReplayReport classic = engine.replay(trace, cache);
+  EXPECT_GT(classic.warmup_packages, 0u);
+
+  ShardedReplayOptions sharded;
+  sharded.shards = 2;
+  expect_identical(classic, replay_flat(trace, config, sharded, options));
 }
 
 TEST(ShardedReplay, CycleSnapshotsMatchClassic) {
