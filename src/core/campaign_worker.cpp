@@ -1,0 +1,141 @@
+#include "core/campaign_worker.h"
+
+#include <exception>
+
+#include "net/message.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace tracer::core {
+
+CampaignWorkerService::CampaignWorkerService(TestExecutor executor,
+                                             WorkerOptions options)
+    : executor_(std::move(executor)), options_(std::move(options)) {}
+
+void CampaignWorkerService::serve(net::Communicator& comm) {
+  // Short slices: between frames the worker re-checks peer_closed and the
+  // idle deadline, so a hang-up never strands the thread in a long recv.
+  constexpr Seconds kRecvSlice = 0.05;
+  while (true) {
+    auto message = comm.recv(kRecvSlice);
+    if (!message) {
+      if (comm.peer_closed()) return;
+      if (comm.since_last_inbound() >= options_.idle_timeout) {
+        TRACER_LOG(kInfo) << "fleet worker: idle timeout, exiting";
+        return;
+      }
+      continue;
+    }
+    switch (message->type) {
+      case net::MessageType::kShardAssign: {
+        auto assign = decode_shard_assign(*message);
+        if (!assign) {
+          comm.reply(*message,
+                     net::make_error(message->sequence, "bad shard assign"));
+          continue;
+        }
+        const auto key = std::make_pair(assign->shard_id, assign->epoch);
+        if (last_shard_ == key) {
+          // Duplicate frame of a shard already handled: ack, don't re-run.
+          comm.reply(*message, net::make_ack(message->sequence));
+          continue;
+        }
+        last_shard_ = key;
+        comm.reply(*message, net::make_ack(message->sequence));
+        if (!run_shard(comm, *assign)) return;
+        break;
+      }
+      case net::MessageType::kStopTest:
+        comm.reply(*message, net::make_ack(message->sequence));
+        return;
+      default:
+        if (message->sequence != 0) {
+          comm.reply(*message,
+                     net::make_error(message->sequence,
+                                     std::string("unsupported command ") +
+                                         net::to_string(message->type)));
+        }
+        break;
+    }
+  }
+}
+
+bool CampaignWorkerService::run_shard(net::Communicator& comm,
+                                      const ShardAssignment& assign) {
+  ++stats_.shards_accepted;
+  const util::MonotonicClock& clock = util::MonotonicClock::steady();
+  Seconds last_renew = clock.now();
+  std::uint64_t completed = 0;
+  for (const FleetTest& test : assign.tests) {
+    if (options_.kill_switch && options_.kill_switch(stats_.tests_executed)) {
+      // Die like a SIGKILLed process: no farewell frame. serve()'s caller
+      // destroys the Communicator, the endpoint hang-up is the only notice.
+      stats_.killed = true;
+      return false;
+    }
+    if (clock.now() - last_renew >= options_.renew_interval) {
+      LeaseRenew renew;
+      renew.fingerprint = assign.fingerprint;
+      renew.shard_id = assign.shard_id;
+      renew.epoch = assign.epoch;
+      renew.completed = completed;
+      comm.send_oob(encode_lease_renew(renew));
+      last_renew = clock.now();
+    }
+    ShardRecord out;
+    out.fingerprint = assign.fingerprint;
+    out.shard_id = assign.shard_id;
+    out.epoch = assign.epoch;
+    out.index = test.index;
+    try {
+      out.record = executor_(test.mode);
+    } catch (const std::exception& e) {
+      // The worker stays alive; the coordinator's lease machinery re-issues
+      // the shard's remainder to someone (possibly us) later.
+      TRACER_LOG(kWarn) << "fleet worker: test " << test.index
+                        << " failed (" << e.what() << "), abandoning shard "
+                        << assign.shard_id;
+      ++stats_.shards_abandoned;
+      return !comm.peer_closed();
+    }
+    out.record.test_id = test.index;
+    auto reply = call_coordinator(comm, encode_shard_record(out));
+    if (!reply) {
+      ++stats_.shards_abandoned;
+      return !comm.peer_closed();
+    }
+    if (reply->type != net::MessageType::kAck || ack_revoked(*reply)) {
+      // Stolen while we were slow or partitioned: every further record
+      // would just be deduplicated on arrival. Rejoin the idle pool.
+      ++stats_.shards_abandoned;
+      return true;
+    }
+    ++stats_.records_acked;
+    ++stats_.tests_executed;
+    ++completed;
+    last_renew = clock.now();  // the ack renewed the lease coordinator-side
+  }
+  ShardDone done;
+  done.fingerprint = assign.fingerprint;
+  done.shard_id = assign.shard_id;
+  done.epoch = assign.epoch;
+  auto reply = call_coordinator(comm, encode_shard_done(done));
+  if (!reply) {
+    ++stats_.shards_abandoned;
+    return !comm.peer_closed();
+  }
+  ++stats_.shards_completed;
+  return true;
+}
+
+std::optional<net::Message> CampaignWorkerService::call_coordinator(
+    net::Communicator& comm, net::Message message) {
+  net::CallOptions options;
+  options.attempt_timeout = options_.ack_timeout;
+  options.max_attempts = options_.ack_attempts;
+  options.backoff = options_.backoff;
+  options.on_attempt_failure = [&comm](int) { return !comm.peer_closed(); };
+  return comm.call(std::move(message), options);
+}
+
+}  // namespace tracer::core

@@ -1,14 +1,22 @@
 #include "db/journal.h"
 
+#include <cctype>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace tracer::db {
 
 namespace {
+
+// Checksum column: 16 lowercase hex digits of FNV-1a over the line's bytes
+// up to (not including) the ",<checksum>" suffix. Plain hex never needs
+// CSV quoting, so the suffix is always exactly 17 bytes of the raw line.
+constexpr std::size_t kChecksumHexLen = 16;
 
 const std::vector<std::string>& header_row() {
   static const std::vector<std::string> kHeader = {
@@ -18,78 +26,144 @@ const std::vector<std::string>& header_row() {
       "avg_amps",        "avg_volts",  "avg_watts",
       "joules",          "iops",       "mbps",
       "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt",
-      "power_valid"};
+      "power_valid",     "row_checksum"};
   return kHeader;
 }
 
-bool parse_row(const std::vector<std::string>& fields, TestRecord& out) {
-  // Rows written before the power_valid column existed are one field
-  // short; accept them with the flag defaulting to true.
-  if (fields.size() != header_row().size() &&
-      fields.size() != header_row().size() - 1) {
-    return false;
-  }
+std::string checksum_hex(std::string_view prefix) {
+  return util::format("%016llx",
+                      static_cast<unsigned long long>(util::fnv1a(prefix)));
+}
+
+// Strict numeric parsing: the whole field must be consumed. Prefix-tolerant
+// std::sto* would let a corrupted legacy-width row (e.g. a flipped comma
+// merging two fields into "3.125<66.7") slip past the checksum check, since
+// 17/18-column rows are validated on parseability alone.
+bool parse_u64_field(const std::string& field, std::uint64_t& out) {
   try {
-    out.test_id = std::stoull(fields[0]);
-    out.timestamp = fields[1];
-    out.device = fields[2];
-    out.trace_name = fields[3];
-    out.request_size = std::stoull(fields[4]);
-    out.random_ratio = std::stod(fields[5]);
-    out.read_ratio = std::stod(fields[6]);
-    out.load_proportion = std::stod(fields[7]);
-    out.avg_amps = std::stod(fields[8]);
-    out.avg_volts = std::stod(fields[9]);
-    out.avg_watts = std::stod(fields[10]);
-    out.joules = std::stod(fields[11]);
-    out.iops = std::stod(fields[12]);
-    out.mbps = std::stod(fields[13]);
-    out.avg_response_ms = std::stod(fields[14]);
-    out.iops_per_watt = std::stod(fields[15]);
-    out.mbps_per_kilowatt = std::stod(fields[16]);
-    out.power_valid = fields.size() < 18 || std::stoull(fields[17]) != 0;
+    std::size_t pos = 0;
+    out = std::stoull(field, &pos);
+    return pos == field.size() && !field.empty();
   } catch (const std::exception&) {
     return false;
   }
-  return true;
+}
+
+bool parse_double_field(const std::string& field, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(field, &pos);
+    return pos == field.size() && !field.empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_row(const std::vector<std::string>& fields, TestRecord& out) {
+  // Accept the current 19-column layout plus the two legacy ones: rows
+  // written before row_checksum existed (18), and before power_valid (17).
+  if (fields.size() < header_row().size() - 2 ||
+      fields.size() > header_row().size()) {
+    return false;
+  }
+  out.timestamp = fields[1];
+  out.device = fields[2];
+  out.trace_name = fields[3];
+  std::uint64_t power_valid = 1;
+  const bool ok = parse_u64_field(fields[0], out.test_id) &&
+                  parse_u64_field(fields[4], out.request_size) &&
+                  parse_double_field(fields[5], out.random_ratio) &&
+                  parse_double_field(fields[6], out.read_ratio) &&
+                  parse_double_field(fields[7], out.load_proportion) &&
+                  parse_double_field(fields[8], out.avg_amps) &&
+                  parse_double_field(fields[9], out.avg_volts) &&
+                  parse_double_field(fields[10], out.avg_watts) &&
+                  parse_double_field(fields[11], out.joules) &&
+                  parse_double_field(fields[12], out.iops) &&
+                  parse_double_field(fields[13], out.mbps) &&
+                  parse_double_field(fields[14], out.avg_response_ms) &&
+                  parse_double_field(fields[15], out.iops_per_watt) &&
+                  parse_double_field(fields[16], out.mbps_per_kilowatt) &&
+                  (fields.size() < 18 || parse_u64_field(fields[17], power_valid));
+  out.power_valid = power_valid != 0;
+  return ok;
+}
+
+/// Validate one raw journal line as a record row; fills `out` on success.
+/// A 19-column row must checksum-verify against its own bytes; legacy rows
+/// (17/18 columns, written before the checksum existed) are accepted on
+/// parseability alone.
+bool validate_record_line(const std::string& line, TestRecord& out) {
+  const auto rows = util::CsvReader::parse(line);
+  if (rows.size() != 1) return false;
+  const auto& fields = rows[0];
+  if (fields.size() == header_row().size()) {
+    const std::string& checksum = fields.back();
+    if (checksum.size() != kChecksumHexLen) return false;
+    for (char c : checksum) {
+      if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+          std::isupper(static_cast<unsigned char>(c))) {
+        return false;
+      }
+    }
+    const std::size_t suffix = kChecksumHexLen + 1;  // ",<hex>"
+    if (line.size() < suffix + 1) return false;
+    if (line.compare(line.size() - suffix, suffix, "," + checksum) != 0) {
+      return false;  // checksum field was quoted/mangled: not ours
+    }
+    if (checksum_hex(std::string_view(line).substr(0, line.size() - suffix)) !=
+        checksum) {
+      return false;
+    }
+  }
+  return parse_row(fields, out);
+}
+
+bool is_header_line(const std::string& line) {
+  const auto rows = util::CsvReader::parse(line);
+  return rows.size() == 1 && !rows[0].empty() && rows[0][0] == "test_id";
+}
+
+/// Split `text` into lines, keeping track of whether the final line was
+/// newline-terminated. Journal rows never contain embedded newlines
+/// (append refuses them), so a '\n' is always a row boundary.
+struct Line {
+  std::string text;
+  std::uint64_t end_offset;  ///< file offset one past this line's '\n'
+};
+
+std::vector<Line> split_lines(const std::string& text, bool& torn_tail) {
+  std::vector<Line> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // unterminated fragment
+    lines.push_back({text.substr(start, nl - start), nl + 1});
+    start = nl + 1;
+  }
+  torn_tail = start < text.size();
+  return lines;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 }  // namespace
 
-CampaignJournal::CampaignJournal(std::filesystem::path path)
-    : path_(std::move(path)) {
-  const bool fresh =
-      !std::filesystem::exists(path_) || std::filesystem::file_size(path_) == 0;
-  if (path_.has_parent_path()) {
-    std::filesystem::create_directories(path_.parent_path());
+std::string CampaignJournal::encode_line(const TestRecord& r) {
+  for (const std::string* field :
+       {&r.timestamp, &r.device, &r.trace_name}) {
+    if (field->find_first_of("\n\r") != std::string::npos) {
+      throw std::invalid_argument(
+          "CampaignJournal: record field contains a newline");
+    }
   }
-  // A crash can leave a torn final row with no trailing newline; terminate
-  // it before appending so the next row is not glued onto the wreckage.
-  bool needs_newline = false;
-  if (!fresh) {
-    std::ifstream in(path_, std::ios::binary);
-    in.seekg(-1, std::ios::end);
-    char last = '\n';
-    if (in.get(last)) needs_newline = last != '\n';
-  }
-  // Constructor-time lock: uncontended (no other thread can hold a
-  // reference yet), present for the thread-safety analysis.
-  util::MutexLock lock(mutex_);
-  out_.open(path_, std::ios::app);
-  if (!out_) {
-    throw std::runtime_error("CampaignJournal: cannot open " + path_.string());
-  }
-  if (needs_newline) out_ << '\n';
-  if (fresh) {
-    util::CsvWriter csv(out_);
-    csv.write_row(header_row());
-    out_.flush();
-  }
-}
-
-void CampaignJournal::append(const TestRecord& r) {
-  util::MutexLock lock(mutex_);
-  util::CsvWriter csv(out_);
+  std::ostringstream buffer;
+  util::CsvWriter csv(buffer);
   csv.row()
       .add(r.test_id)
       .add(r.timestamp)
@@ -110,6 +184,75 @@ void CampaignJournal::append(const TestRecord& r) {
       .add(r.mbps_per_kilowatt, 3)
       .add(static_cast<std::uint64_t>(r.power_valid ? 1 : 0))
       .done();
+  std::string line = buffer.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line + ',' + checksum_hex(line);
+}
+
+CampaignJournal::CampaignJournal(std::filesystem::path path)
+    : path_(std::move(path)) {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  bool fresh =
+      !std::filesystem::exists(path_) || std::filesystem::file_size(path_) == 0;
+
+  // Truncate-to-last-valid-row recovery: scan the existing file and cut it
+  // back to the longest prefix of verifiable lines. Append-only means any
+  // damage invalidates everything after it — row boundaries downstream of
+  // a corrupt byte cannot be trusted — so recovery is a prefix property.
+  if (!fresh) {
+    const std::string text = read_file(path_);
+    bool torn_tail = false;
+    const auto lines = split_lines(text, torn_tail);
+    std::uint64_t valid_end = 0;
+    std::size_t dropped_rows = 0;
+    bool saw_header = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      TestRecord scratch;
+      if (i == 0 && is_header_line(lines[i].text)) {
+        saw_header = true;
+        valid_end = lines[i].end_offset;
+        continue;
+      }
+      if (!validate_record_line(lines[i].text, scratch)) {
+        dropped_rows = lines.size() - i;
+        break;
+      }
+      valid_end = lines[i].end_offset;
+    }
+    if (!saw_header) valid_end = 0;  // headerless file: start over
+    if (valid_end < text.size()) {
+      recovery_.truncated_bytes = text.size() - valid_end;
+      recovery_.dropped_rows = dropped_rows;
+      std::filesystem::resize_file(path_, valid_end);
+      TRACER_LOG(kWarn) << "journal " << path_.string() << ": recovered by "
+                        << "truncating " << recovery_.truncated_bytes
+                        << " damaged tail bytes (" << recovery_.dropped_rows
+                        << " complete rows dropped"
+                        << (torn_tail ? ", torn final row" : "") << ")";
+      fresh = valid_end == 0;
+    }
+  }
+
+  // Constructor-time lock: uncontended (no other thread can hold a
+  // reference yet), present for the thread-safety analysis.
+  util::MutexLock lock(mutex_);
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("CampaignJournal: cannot open " + path_.string());
+  }
+  if (fresh) {
+    util::CsvWriter csv(out_);
+    csv.write_row(header_row());
+    out_.flush();
+  }
+}
+
+void CampaignJournal::append(const TestRecord& r) {
+  const std::string line = encode_line(r);  // validates before the lock
+  util::MutexLock lock(mutex_);
+  out_ << line << '\n';
   out_.flush();
   if (!out_) {
     throw std::runtime_error("CampaignJournal: write failed for " +
@@ -121,16 +264,21 @@ std::vector<TestRecord> CampaignJournal::load(
     const std::filesystem::path& path) {
   std::vector<TestRecord> records;
   if (!std::filesystem::exists(path)) return records;
-  const auto rows = util::CsvReader::load(path.string());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (i == 0 && !rows[i].empty() && rows[i][0] == "test_id") continue;
+  bool torn_tail = false;
+  const auto lines = split_lines(read_file(path), torn_tail);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i == 0 && is_header_line(lines[i].text)) continue;
     TestRecord record;
-    if (parse_row(rows[i], record)) {
+    if (validate_record_line(lines[i].text, record)) {
       records.push_back(std::move(record));
     } else {
       TRACER_LOG(kWarn) << "journal " << path.string() << ": skipping "
-                        << "malformed row " << i + 1;
+                        << "invalid row " << i + 1;
     }
+  }
+  if (torn_tail) {
+    TRACER_LOG(kWarn) << "journal " << path.string()
+                      << ": ignoring torn final row";
   }
   return records;
 }
@@ -138,6 +286,24 @@ std::vector<TestRecord> CampaignJournal::load(
 std::string CampaignJournal::key(const std::string& trace_name,
                                  double load_proportion) {
   return util::format("%s@%.4f", trace_name.c_str(), load_proportion);
+}
+
+JournalMerger::JournalMerger(std::filesystem::path path)
+    : journal_(std::move(path)) {
+  loaded_ = CampaignJournal::load(journal_.path());
+  for (const auto& record : loaded_) {
+    seen_.insert(record.test_id);
+  }
+}
+
+bool JournalMerger::append_unique(const TestRecord& record) {
+  if (!seen_.insert(record.test_id).second) {
+    ++deduped_;
+    return false;
+  }
+  journal_.append(record);
+  ++merged_;
+  return true;
 }
 
 }  // namespace tracer::db

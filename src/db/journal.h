@@ -1,14 +1,26 @@
 // Append-only campaign journal (CSV). Completed tests stream here one row
 // at a time, flushed as they land, so a crash or Ctrl-C mid-campaign loses
 // at most the row being written; a restarted campaign loads the journal
-// and skips every (trace_name, load_proportion) pair it already holds.
-// The column set matches Database::export_csv, so the journal doubles as
-// the campaign's results table.
+// and skips every test it already holds.
+//
+// Integrity (docs/FLEET.md): every row carries a trailing FNV-1a checksum
+// over its own bytes, and opening a journal runs truncate-to-last-valid
+// recovery — a torn tail (process killed mid-append) or a bit-flipped
+// suffix is cut off at the last verifiable row instead of poisoning
+// resume. The journal is line-oriented by contract: string fields must not
+// contain newlines (append refuses them), so damage is always containable
+// to a suffix.
+//
+// The column set matches Database::export_csv plus the checksum column, so
+// the journal doubles as the campaign's results table. Rows written by
+// older versions (no checksum, or no power_valid) still load.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "db/record.h"
@@ -18,17 +30,30 @@ namespace tracer::db {
 
 class CampaignJournal {
  public:
+  /// What recovery did when the journal was opened.
+  struct RecoveryInfo {
+    std::uint64_t truncated_bytes = 0;  ///< bytes cut from the damaged tail
+    std::size_t dropped_rows = 0;       ///< complete-but-invalid rows cut
+    bool recovered() const { return truncated_bytes > 0; }
+  };
+
   /// Open `path` for appending, creating it (with a header row) when
-  /// missing. Throws std::runtime_error when the file cannot be opened.
+  /// missing. An existing file is scanned first and truncated to its last
+  /// valid row (see RecoveryInfo). Throws std::runtime_error when the file
+  /// cannot be opened.
   explicit CampaignJournal(std::filesystem::path path);
 
-  /// Append one record and flush. Thread-safe. Throws on write failure.
+  /// Append one record and flush. Thread-safe. Throws on write failure,
+  /// and std::invalid_argument when a string field contains a newline
+  /// (which would break line-oriented recovery).
   void append(const TestRecord& record);
 
   const std::filesystem::path& path() const { return path_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
 
-  /// Load every well-formed row from `path`. A missing file is an empty
-  /// journal; a torn tail row (crash mid-write) is skipped, not fatal.
+  /// Load every valid row from `path`. A missing file is an empty journal;
+  /// rows that fail parsing or checksum verification are skipped with a
+  /// warning, not fatal.
   static std::vector<TestRecord> load(const std::filesystem::path& path);
 
   /// Resume key for a completed test: identifies the (trace, load) pair
@@ -36,10 +61,54 @@ class CampaignJournal {
   static std::string key(const std::string& trace_name,
                          double load_proportion);
 
+  /// Serialise one record to its journal line (no trailing newline), with
+  /// the checksum column appended. Exposed for tests.
+  static std::string encode_line(const TestRecord& record);
+
  private:
   std::filesystem::path path_;  ///< immutable after construction
+  RecoveryInfo recovery_;       ///< immutable after construction
   std::ofstream out_ TRACER_GUARDED_BY(mutex_);
   util::Mutex mutex_;  ///< serialises append(): one row, one flush, atomically
+};
+
+/// Dedup-merging journal front-end for fleet campaigns (docs/FLEET.md):
+/// many workers stream per-test records to one coordinator, shards get
+/// stolen and re-executed, and a restarted coordinator replays the journal
+/// — so the journal must end up with EXACTLY one row per test. The merge
+/// key is TestRecord::test_id, which fleet campaigns set to the test's
+/// stable index in the campaign matrix (stable across coordinator
+/// restarts, unlike arrival order).
+///
+/// Thread-confined, like the coordinator that owns it: the underlying
+/// CampaignJournal::append is thread-safe, but the seen-set is not.
+class JournalMerger {
+ public:
+  /// Opens (and recovers) the journal, then indexes every existing row's
+  /// test_id so resume never re-appends a completed test.
+  explicit JournalMerger(std::filesystem::path path);
+
+  /// Append iff no row with this test_id exists yet (in the loaded journal
+  /// or appended since). Returns false — and writes nothing — for a
+  /// duplicate: a re-executed stolen shard, or a late retransmit.
+  bool append_unique(const TestRecord& record);
+
+  bool contains(std::uint64_t test_id) const {
+    return seen_.count(test_id) != 0;
+  }
+  /// Rows found in the journal when it was opened (resume state).
+  const std::vector<TestRecord>& loaded() const { return loaded_; }
+  std::size_t merged() const { return merged_; }    ///< appended this run
+  std::size_t deduped() const { return deduped_; }  ///< rejected this run
+  std::size_t size() const { return seen_.size(); }
+  const CampaignJournal& journal() const { return journal_; }
+
+ private:
+  CampaignJournal journal_;
+  std::vector<TestRecord> loaded_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::size_t merged_ = 0;
+  std::size_t deduped_ = 0;
 };
 
 }  // namespace tracer::db

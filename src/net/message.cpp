@@ -5,6 +5,7 @@
 
 #include "net/channel.h"
 #include "util/binary_io.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace tracer::net {
@@ -23,6 +24,10 @@ const char* to_string(MessageType type) {
     case MessageType::kPowerStart: return "POWER_START";
     case MessageType::kPowerStop: return "POWER_STOP";
     case MessageType::kPowerResult: return "POWER_RESULT";
+    case MessageType::kShardAssign: return "SHARD_ASSIGN";
+    case MessageType::kShardRecord: return "SHARD_RECORD";
+    case MessageType::kShardDone: return "SHARD_DONE";
+    case MessageType::kLeaseRenew: return "LEASE_RENEW";
   }
   return "UNKNOWN";
 }
@@ -32,7 +37,11 @@ void Message::set(const std::string& key, const std::string& value) {
 }
 
 void Message::set_double(const std::string& key, double value) {
-  fields[key] = util::format("%.9g", value);
+  // %.17g round-trips every finite double exactly. The fleet layer depends
+  // on this: a record that crosses the wire must merge into the journal
+  // bit-identical to one produced locally (the old %.9g silently lost the
+  // low mantissa bits of every value it carried).
+  fields[key] = util::format("%.17g", value);
 }
 
 void Message::set_u64(const std::string& key, std::uint64_t value) {
@@ -62,12 +71,7 @@ std::optional<std::uint64_t> Message::get_u64(const std::string& key) const {
 }
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return util::fnv1a(data, size);
 }
 
 std::vector<std::uint8_t> Message::serialize() const {
@@ -124,6 +128,10 @@ std::optional<Message> Message::try_deserialize(
       case MessageType::kPowerStart:
       case MessageType::kPowerStop:
       case MessageType::kPowerResult:
+      case MessageType::kShardAssign:
+      case MessageType::kShardRecord:
+      case MessageType::kShardDone:
+      case MessageType::kLeaseRenew:
         message.type = static_cast<MessageType>(raw_type);
         break;
       default:

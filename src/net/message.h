@@ -32,6 +32,11 @@ enum class MessageType : std::uint16_t {
   kPowerStop = 32,
   // Power analyzer -> evaluation host
   kPowerResult = 40,  ///< current / voltage / watts
+  // Fleet campaign coordinator <-> campaign worker (docs/FLEET.md)
+  kShardAssign = 50,  ///< coordinator -> worker: leased slice of the matrix
+  kShardRecord = 51,  ///< worker -> coordinator: one completed test's record
+  kShardDone = 52,    ///< worker -> coordinator: every test in shard merged
+  kLeaseRenew = 53,   ///< worker -> coordinator: keepalive for a held lease
 };
 
 const char* to_string(MessageType type);
@@ -87,7 +92,8 @@ Message make_heartbeat(std::uint64_t tick);
 /// FNV-1a 64-bit over a byte range — the frame checksum and the content
 /// hash behind net::FaultyEndpoint's deterministic fault decisions. Each
 /// step is a bijection on the 64-bit state, so any single-bit change
-/// propagates to the digest.
+/// propagates to the digest. (Now an alias for util::fnv1a, which the
+/// journal's row checksums share.)
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size);
 
 }  // namespace tracer::net

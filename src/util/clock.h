@@ -1,0 +1,66 @@
+// Injectable monotonic time source for timer arithmetic. Lease deadlines,
+// heartbeat liveness windows, and steal timers must never be computed from
+// the wall clock: an NTP step or a suspend/resume would mass-expire every
+// lease in the fleet at once (docs/FLEET.md). The net:: layer already does
+// all deadline math on std::chrono::steady_clock; this wrapper exists so the
+// campaign coordinator's lease table does the same *and* stays testable —
+// tests drive a ManualClock through grant/renew/expire transitions instead
+// of sleeping, and the shifted-clock regression test proves a wall jump
+// cannot expire a lease.
+//
+// Wall-clock time still has exactly one legitimate job here: human-readable
+// record timestamps (EvaluationHost stamps TestRecord::timestamp from
+// system_clock). Nothing may ever be *subtracted* from those.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/types.h"
+
+namespace tracer::util {
+
+/// Monotonic seconds since an arbitrary epoch. Implementations must be
+/// thread-safe and non-decreasing per instance.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  virtual Seconds now() const = 0;
+
+  /// Process-wide std::chrono::steady_clock-backed instance.
+  static MonotonicClock& steady();
+};
+
+/// Test clock: time moves only when the test says so. Thread-safe (a
+/// coordinator thread may read while the test advances).
+class ManualClock final : public MonotonicClock {
+ public:
+  explicit ManualClock(Seconds start = 0.0) : now_(start) {}
+
+  Seconds now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void advance(Seconds delta) {
+    now_.store(now_.load(std::memory_order_relaxed) + delta,
+               std::memory_order_release);
+  }
+  void set(Seconds t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<double> now_;
+};
+
+inline MonotonicClock& MonotonicClock::steady() {
+  class SteadyClock final : public MonotonicClock {
+   public:
+    Seconds now() const override {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    }
+  };
+  static SteadyClock instance;
+  return instance;
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,37 @@
+// FNV-1a 64-bit — the content hash shared by the wire protocol's frame
+// checksum (net::Message), the deterministic fault decisions
+// (net::FaultyEndpoint), the journal's per-row checksum (db::CampaignJournal),
+// and the campaign matrix fingerprint (core::CampaignIdentity). Each step is
+// a bijection on the 64-bit state, so any single-byte change in an
+// equal-length input always changes the digest — which is exactly the
+// torn-write/bit-flip detection the journal and the frame codec rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tracer::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Continue an FNV-1a digest over `size` bytes (pass the previous return
+/// value as `seed` to chain ranges).
+inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view text,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  return fnv1a(reinterpret_cast<const std::uint8_t*>(text.data()),
+               text.size(), seed);
+}
+
+}  // namespace tracer::util

@@ -1,0 +1,249 @@
+// Crash-safety regression tests for the checksummed campaign journal
+// (docs/FLEET.md): per-row FNV-1a checksums, truncate-to-last-valid-row
+// recovery at EVERY possible tear point, bit-flip detection at every byte
+// of the last record, legacy-row compatibility, and the JournalMerger dedup
+// used by the fleet coordinator.
+#include "db/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tracer::db {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tracer_journal_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path path(const char* name = "journal.csv") const {
+    return dir_ / name;
+  }
+
+  fs::path dir_;
+};
+
+TestRecord make_record(std::uint64_t id) {
+  TestRecord r;
+  r.test_id = id;
+  r.timestamp = "2026-08-08T12:00:00";
+  r.device = "raid5-hdd6";
+  r.trace_name = "trace_" + std::to_string(id);
+  r.request_size = 4096 + id;
+  r.random_ratio = 0.5;
+  r.read_ratio = 0.67;
+  r.load_proportion = 0.25 + 0.0001 * static_cast<double>(id);
+  r.avg_amps = 1.25;
+  r.avg_volts = 12.0;
+  r.avg_watts = 15.0;
+  r.joules = 450.0;
+  r.power_valid = id % 2 == 0;
+  r.iops = 1000.0 + static_cast<double>(id);
+  r.mbps = 80.5;
+  r.avg_response_ms = 3.125;
+  r.iops_per_watt = 66.7;
+  r.mbps_per_kilowatt = 5366.0;
+  return r;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST_F(JournalTest, RoundTripsRecordsThroughChecksummedRows) {
+  {
+    CampaignJournal journal(path());
+    EXPECT_FALSE(journal.recovery().recovered());
+    for (int i = 0; i < 5; ++i) journal.append(make_record(i));
+  }
+  const auto rows = CampaignJournal::load(path());
+  ASSERT_EQ(rows.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[i].test_id, i);
+    EXPECT_EQ(rows[i].trace_name, "trace_" + std::to_string(i));
+    EXPECT_EQ(rows[i].power_valid, i % 2 == 0);
+  }
+}
+
+// The core crash-safety property: a process killed mid-append tears the
+// file at an arbitrary byte. For EVERY tear point inside the last record,
+// reopening must recover to exactly the previous records and stay
+// appendable.
+TEST_F(JournalTest, RecoversFromTruncationAtEveryByteOfLastRecord) {
+  std::uint64_t before = 0;
+  {
+    CampaignJournal journal(path());
+    for (int i = 0; i < 3; ++i) journal.append(make_record(i));
+    before = fs::file_size(path());
+    journal.append(make_record(3));
+  }
+  const std::uint64_t after = fs::file_size(path());
+  const std::string full = read_file(path());
+  ASSERT_GT(after, before);
+
+  for (std::uint64_t cut = before; cut < after; ++cut) {
+    const fs::path p = path("torn.csv");
+    write_file(p, full.substr(0, cut));
+    {
+      CampaignJournal reopened(p);
+      if (cut == before) {
+        // Tear landed exactly on the previous row boundary: nothing to do.
+        EXPECT_FALSE(reopened.recovery().recovered()) << "cut=" << cut;
+      } else {
+        EXPECT_TRUE(reopened.recovery().recovered()) << "cut=" << cut;
+        EXPECT_EQ(reopened.recovery().truncated_bytes, cut - before)
+            << "cut=" << cut;
+      }
+      auto rows = CampaignJournal::load(p);
+      ASSERT_EQ(rows.size(), 3u) << "cut=" << cut;
+      EXPECT_EQ(rows.back().test_id, 2u) << "cut=" << cut;
+      // The recovered journal must remain appendable at the right offset.
+      reopened.append(make_record(99));
+    }
+    auto rows = CampaignJournal::load(p);
+    ASSERT_EQ(rows.size(), 4u) << "cut=" << cut;
+    EXPECT_EQ(rows.back().test_id, 99u) << "cut=" << cut;
+  }
+}
+
+// A bit flip anywhere in the last record (data, checksum column, or its
+// newline) must fail validation and be cut off by recovery — FNV-1a over
+// the whole line leaves no unprotected byte.
+TEST_F(JournalTest, DetectsBitFlipAtEveryByteOfLastRecord) {
+  std::uint64_t before = 0;
+  {
+    CampaignJournal journal(path());
+    for (int i = 0; i < 3; ++i) journal.append(make_record(i));
+    before = fs::file_size(path());
+    journal.append(make_record(3));
+  }
+  const std::string full = read_file(path());
+
+  for (std::size_t offset = before; offset < full.size(); ++offset) {
+    const fs::path p = path("flipped.csv");
+    std::string damaged = full;
+    damaged[offset] = static_cast<char>(damaged[offset] ^ 0x10);
+    write_file(p, damaged);
+    CampaignJournal reopened(p);
+    EXPECT_TRUE(reopened.recovery().recovered()) << "offset=" << offset;
+    auto rows = CampaignJournal::load(p);
+    ASSERT_EQ(rows.size(), 3u) << "offset=" << offset;
+    EXPECT_EQ(rows.back().test_id, 2u) << "offset=" << offset;
+  }
+}
+
+// Damage in the MIDDLE invalidates everything after it: append-only row
+// boundaries downstream of a corrupt byte cannot be trusted, so recovery is
+// a prefix property.
+TEST_F(JournalTest, MidFileDamageCutsEverythingAfterIt) {
+  {
+    CampaignJournal journal(path());
+    for (int i = 0; i < 4; ++i) journal.append(make_record(i));
+  }
+  std::string bytes = read_file(path());
+  // Find the second record row and flip a byte inside it.
+  std::size_t line_start = 0;
+  for (int skipped = 0; skipped < 2; ++skipped) {  // header + record 0
+    line_start = bytes.find('\n', line_start) + 1;
+  }
+  bytes[line_start + 5] = static_cast<char>(bytes[line_start + 5] ^ 0x01);
+  write_file(path(), bytes);
+
+  CampaignJournal reopened(path());
+  EXPECT_TRUE(reopened.recovery().recovered());
+  EXPECT_EQ(reopened.recovery().dropped_rows, 3u);
+  auto rows = CampaignJournal::load(path());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].test_id, 0u);
+}
+
+TEST_F(JournalTest, LegacyRowsWithoutChecksumStillLoad) {
+  // A journal written before the checksum column existed: 18 fields, no
+  // row_checksum. It must load, and recovery must keep it.
+  const std::string header =
+      "test_id,timestamp,device,trace,request_size,random_ratio,read_ratio,"
+      "load_proportion,avg_amps,avg_volts,avg_watts,joules,iops,mbps,"
+      "avg_response_ms,iops_per_watt,mbps_per_kilowatt,power_valid\n";
+  const std::string legacy =
+      "7,2025-01-01T00:00:00,hdd,old_trace,4096,0.5000,0.5000,0.2500,"
+      "1.0000,12.00,12.000,360.000,100.00,0.800,5.000,8.3333,66.667,1\n";
+  write_file(path(), header + legacy);
+
+  CampaignJournal reopened(path());
+  EXPECT_FALSE(reopened.recovery().recovered());
+  auto rows = CampaignJournal::load(path());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].test_id, 7u);
+  EXPECT_EQ(rows[0].trace_name, "old_trace");
+  EXPECT_TRUE(rows[0].power_valid);
+
+  // New rows appended after legacy ones carry checksums and verify.
+  reopened.append(make_record(8));
+  rows = CampaignJournal::load(path());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].test_id, 8u);
+}
+
+TEST_F(JournalTest, RefusesFieldsThatWouldBreakLineRecovery) {
+  CampaignJournal journal(path());
+  TestRecord bad = make_record(0);
+  bad.device = "evil\ndevice";
+  EXPECT_THROW(journal.append(bad), std::invalid_argument);
+  bad = make_record(0);
+  bad.trace_name = "evil\rtrace";
+  EXPECT_THROW(journal.append(bad), std::invalid_argument);
+  EXPECT_TRUE(CampaignJournal::load(path()).empty());
+}
+
+TEST_F(JournalTest, MergerDedupsByTestId) {
+  JournalMerger merger(path());
+  EXPECT_TRUE(merger.append_unique(make_record(1)));
+  EXPECT_TRUE(merger.append_unique(make_record(2)));
+  // Same test re-executed by a stolen shard: rejected, nothing written.
+  EXPECT_FALSE(merger.append_unique(make_record(1)));
+  EXPECT_EQ(merger.merged(), 2u);
+  EXPECT_EQ(merger.deduped(), 1u);
+  EXPECT_EQ(CampaignJournal::load(path()).size(), 2u);
+}
+
+TEST_F(JournalTest, MergerResumesSeenSetFromJournal) {
+  {
+    JournalMerger merger(path());
+    merger.append_unique(make_record(1));
+    merger.append_unique(make_record(2));
+  }
+  // A restarted coordinator re-opens the journal: already-merged tests are
+  // known, new ones append.
+  JournalMerger resumed(path());
+  EXPECT_EQ(resumed.loaded().size(), 2u);
+  EXPECT_TRUE(resumed.contains(1));
+  EXPECT_TRUE(resumed.contains(2));
+  EXPECT_FALSE(resumed.append_unique(make_record(2)));
+  EXPECT_TRUE(resumed.append_unique(make_record(3)));
+  EXPECT_EQ(resumed.size(), 3u);
+  EXPECT_EQ(CampaignJournal::load(path()).size(), 3u);
+}
+
+}  // namespace
+}  // namespace tracer::db

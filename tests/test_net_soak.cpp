@@ -313,10 +313,15 @@ TEST(NetSoak, LossyCampaignLosesNothingAndDegradesGracefully) {
     EXPECT_DOUBLE_EQ(noisy.avg_response_ms, quiet.avg_response_ms)
         << "slot " << i;
     EXPECT_TRUE(quiet.power_valid) << "slot " << i;
-    EXPECT_DOUBLE_EQ(quiet.avg_watts, kTrueWatts) << "slot " << i;
+    // Power is a measurement, not a replay output: retry timing shifts how
+    // many samples land in each averaging window, so runs agree to
+    // measurement precision rather than bit-for-bit. (The wire itself is
+    // lossless at %.17g — the old %.9g encoding used to round these real
+    // differences away.)
+    EXPECT_NEAR(quiet.avg_watts, kTrueWatts, 1e-6) << "slot " << i;
     if (noisy.power_valid) {
-      EXPECT_DOUBLE_EQ(noisy.avg_watts, quiet.avg_watts) << "slot " << i;
-      EXPECT_DOUBLE_EQ(noisy.iops_per_watt, quiet.iops_per_watt)
+      EXPECT_NEAR(noisy.avg_watts, quiet.avg_watts, 1e-6) << "slot " << i;
+      EXPECT_NEAR(noisy.iops_per_watt, quiet.iops_per_watt, 1e-6)
           << "slot " << i;
     } else {
       ++chaos_degraded;
