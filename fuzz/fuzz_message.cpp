@@ -1,0 +1,28 @@
+// Fuzz target: net::Message::try_deserialize must reject every malformed
+// frame by returning nullopt — never by crashing, over-reading, or
+// throwing — and every frame it accepts must survive a serialize /
+// re-deserialize round trip bit-identically (the PR 9 wire-precision
+// contract, extended to the whole frame).
+//
+// Built as a libFuzzer binary under Clang (-fsanitize=fuzzer,address) and
+// as a corpus-replay binary everywhere else (fuzz/standalone_driver.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "net/message.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::vector<std::uint8_t> frame(data, data + size);
+  const auto message = tracer::net::Message::try_deserialize(frame);
+  if (!message) return 0;
+
+  // Accepted frames must round-trip: re-encode, re-decode, compare.
+  const auto reencoded = message->serialize();
+  const auto again = tracer::net::Message::try_deserialize(reencoded);
+  if (!again || !(*again == *message)) std::abort();
+  return 0;
+}

@@ -11,29 +11,82 @@ CI runs this in the bench-smoke job after micro_core; a PR labelled
 `skip-perf-guardrail` skips the step (noisy runners, or a change that
 knowingly trades replay speed for something else — say why in the PR).
 
+The label escape hatch also works inside the script: when the PR_LABELS
+environment variable (comma-separated, exported by the workflow) contains
+`skip-perf-guardrail`, the check reports SKIPPED and exits 0, so the gate
+cannot fail a PR that explicitly opted out even if the workflow-level
+condition is missed.
+
 Usage: check_bench_guardrail.py BENCH_micro.json [--shards=4] [--min-speedup=2.0]
+
+Exit codes: 0 pass/skip, 1 guardrail violation, 2 bad input (missing or
+malformed results file, bad flags).
 """
 
 import json
+import os
 import sys
+
+SKIP_LABEL = "skip-perf-guardrail"
+
+
+def fail(message):
+    """Bad input (flags, file, schema): exit 2, distinct from the exit-1
+    guardrail violation so CI can tell 'slow' from 'broken'."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
 
 
 def parse_args(argv):
     path = None
     shards = 4
     min_speedup = 2.0
-    for arg in argv[1:]:
-        if arg.startswith("--shards="):
-            shards = int(arg.split("=", 1)[1])
-        elif arg.startswith("--min-speedup="):
-            min_speedup = float(arg.split("=", 1)[1])
-        elif path is None:
-            path = arg
-        else:
-            sys.exit(f"unexpected argument: {arg}")
+    try:
+        for arg in argv[1:]:
+            if arg.startswith("--shards="):
+                shards = int(arg.split("=", 1)[1])
+            elif arg.startswith("--min-speedup="):
+                min_speedup = float(arg.split("=", 1)[1])
+            elif arg.startswith("--"):
+                fail(f"unknown flag: {arg}")
+            elif path is None:
+                path = arg
+            else:
+                fail(f"unexpected argument: {arg}")
+    except ValueError as err:
+        fail(f"bad flag value: {err}")
     if path is None:
-        sys.exit(__doc__)
+        fail(__doc__)
+    if shards < 1:
+        fail(f"--shards must be >= 1, got {shards}")
+    if min_speedup <= 0:
+        fail(f"--min-speedup must be > 0, got {min_speedup}")
     return path, shards, min_speedup
+
+
+def skip_labelled(environ=os.environ):
+    """True when the PR carries the opt-out label (PR_LABELS is the
+    workflow-exported comma-separated label list)."""
+    labels = environ.get("PR_LABELS", "")
+    return SKIP_LABEL in (label.strip() for label in labels.split(","))
+
+
+def load_benchmarks(path):
+    """Parse the google-benchmark JSON file; exits 2 with a one-line
+    diagnostic on a missing, unreadable, or malformed file (a truncated
+    artifact from a cancelled bench run must not traceback)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        fail(f"FATAL: cannot read '{path}': {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        fail(f"FATAL: '{path}' is not valid JSON ({err})")
+    benchmarks = doc.get("benchmarks") if isinstance(doc, dict) else None
+    if not isinstance(benchmarks, list):
+        fail(f"FATAL: '{path}' has no 'benchmarks' array "
+             "(not google-benchmark --benchmark_format=json output?)")
+    return benchmarks
 
 
 def best_time(benchmarks, name):
@@ -47,14 +100,16 @@ def best_time(benchmarks, name):
         and b.get("run_type", "iteration") == "iteration"
     ]
     if not times:
-        sys.exit(f"FATAL: benchmark '{name}' not found in results")
+        fail(f"FATAL: benchmark '{name}' not found in results")
     return min(times)
 
 
-def main(argv):
+def main(argv, environ=os.environ):
     path, shards, min_speedup = parse_args(argv)
-    with open(path) as f:
-        benchmarks = json.load(f)["benchmarks"]
+    if skip_labelled(environ):
+        print(f"SKIPPED: PR carries the '{SKIP_LABEL}' label")
+        return 0
+    benchmarks = load_benchmarks(path)
 
     classic = best_time(benchmarks, "BM_ReplayHddArray")
     sharded = best_time(benchmarks, f"BM_ReplayHddArraySharded/{shards}")

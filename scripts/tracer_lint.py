@@ -1,0 +1,499 @@
+#!/usr/bin/env python3
+"""Portable fallback gate for the TRACER project invariants.
+
+The authoritative implementation of these checks is the clang-tidy plugin
+in tools/tracer-tidy/ (AST-exact; loaded with `run_clang_tidy.sh
+--plugin`). This script is the dependency-free fallback: a token-level
+implementation of the same five checks that runs anywhere Python 3 runs,
+so the gate holds on machines (and CI lanes) without a matching clang
+toolchain. Both implementations share the fixture suite under
+tools/tracer-tidy/test/fixtures — tests/test_tracer_tidy_fixtures.cpp
+asserts every check fires on its fail fixture and stays silent on its
+pass fixture.
+
+Checks (docs/STATIC_ANALYSIS.md has the invariant -> check table):
+
+  tracer-no-wallclock              wall-clock time sources banned; use
+                                   util::MonotonicClock (label-only uses
+                                   carry a justified NOLINT)
+  tracer-no-naked-sync             std::mutex & friends banned outside
+                                   util/sync.h; use the annotated wrappers
+  tracer-lossless-double-format    %g/%f/%e with precision < 17 banned in
+                                   codec paths (net/, db/, fleet_wire)
+  tracer-no-nondeterminism-in-sim  entropy and unordered-container
+                                   iteration banned in simulation paths
+  tracer-unchecked-narrowing-in-codec
+                                   implicit integer width loss banned in
+                                   encode/decode functions (codec paths)
+  tracer-nolint-justification      (linter-only) every NOLINT(tracer-...)
+                                   must carry ": <reason>" in-line
+
+Usage:
+  tracer_lint.py [PATH...]          lint files/trees (default: src/)
+  tracer_lint.py --fixture-mode F   lint one fixture with path filters off
+
+Output is clang-tidy shaped: "file:line:col: warning: msg [check]".
+Exit 1 when any diagnostic fires, 0 when clean.
+"""
+
+import fnmatch
+import os
+import re
+import sys
+
+PATH_FILTER_CODEC = re.compile(r"/(net|db)/|fleet_wire")
+PATH_FILTER_NARROW = re.compile(r"/(net|db|trace)/|fleet_wire")
+PATH_FILTER_SIM = re.compile(r"/(sim|storage)/|/core/replay")
+ALLOW_NAKED_SYNC = re.compile(r"util/sync\.h$")
+
+CODEC_FUNCTION = re.compile(
+    r"encode|decode|serial|parse|read|write|load|store")
+
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::system_clock|\bsystem_clock\s*::"),
+     "std::chrono::system_clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"\btimespec_get\s*\("), "timespec_get"),
+    (re.compile(r"\bftime\s*\("), "ftime"),
+    (re.compile(r"std::time\s*\(|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0|&)"),
+     "time()"),
+    (re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"), "clock()"),
+]
+# Formatting helpers that only convert an already-obtained time_t
+# (gmtime_r, strftime, localtime_r) are deliberately NOT banned: the
+# invariant is about where time is *read*, not how labels are printed.
+
+NAKED_SYNC = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+
+RAND_CALLS = re.compile(
+    r"std::s?rand\b|(?<![\w:.>])s?rand\s*\(|\b[dlm]rand48\s*\(|"
+    r"\brand_r\s*\(|(?:std::)?\brandom_device\b")
+
+UNSEEDED_ENGINE = re.compile(
+    r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux\d+(?:_base)?|knuth_b)\s+\w+\s*(?:;|\{\s*\}|\(\s*\))")
+
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s*[&*]?\s*(\w+)")
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*\*?\s*(\w+)\s*\)")
+
+# printf-family conversion spec: %[flags][width][.precision][length]conv
+FORMAT_SPEC = re.compile(
+    r"%[-+ #0']*[0-9*]*(?:\.(\d+|\*))?[hljztL]*([a-zA-Z%])")
+STRING_LITERAL = re.compile(r'"((?:[^"\\\n]|\\.)*)"')
+
+INT_DECL = re.compile(
+    r"(?:std::)?(u?int(8|16|32|64)_t|size_t|ptrdiff_t|streamsize)\s*"
+    r"(?:\*|&)?\s+(\w+)")
+ASSIGNMENT = re.compile(
+    r"^\s*(?:[\w:<>]+\s+)?\*?\s*(\w+)(?:\[\w*\])?\s*=\s*([^=].*);")
+NOLINT_RE = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
+JUSTIFIED_NOLINT = re.compile(r"NOLINT(?:NEXTLINE)?\([^)]*\)\s*:\s*\S.{8,}")
+
+CONTROL_KEYWORDS = ("if", "for", "while", "switch", "return", "catch",
+                    "sizeof", "static_assert")
+
+
+def strip_comments(text):
+    """Return (code_lines, comment_lines): per-line source with comments
+    blanked, and per-line comment text (for NOLINT handling). String and
+    char literal *contents* are preserved in code_lines (the format check
+    needs them) but quotes inside comments are ignored."""
+    code, comments = [], []
+    cur_code, cur_comment = [], []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state in ("line_comment", "string", "char"):
+                state = "code"  # unterminated literal: recover per line
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            cur_code.append(c)
+        elif state == "line_comment":
+            cur_comment.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                i += 2
+                state = "code"
+                continue
+            cur_comment.append(c)
+        elif state in ("string", "char"):
+            # The opening quote was consumed in "code" state, so any
+            # unescaped matching quote here closes the literal.
+            cur_code.append(c)
+            if c == "\\" and nxt:
+                cur_code.append(nxt)
+                i += 2
+                continue
+            if (state == "string" and c == '"') or \
+                    (state == "char" and c == "'"):
+                state = "code"
+        i += 1
+    code.append("".join(cur_code))
+    comments.append("".join(cur_comment))
+    return code, comments
+
+
+def blank_strings(line):
+    """Replace string/char literal contents with spaces (keeps columns)."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote is None:
+            out.append(c)
+            if c in "\"'":
+                quote = c
+        else:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                out.append(c)
+                quote = None
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Diagnostic:
+    def __init__(self, path, line, col, message, check):
+        self.path, self.line, self.col = path, line, col
+        self.message, self.check = message, check
+
+    def __str__(self):
+        return (f"{self.path}:{self.line}:{self.col}: warning: "
+                f"{self.message} [{self.check}]")
+
+
+def lossy_format_specs(literal):
+    """Yield (offset, spec, effective_precision) for floating conversions
+    below %.17 in a format string. Precision -1 means dynamic '*'."""
+    for m in FORMAT_SPEC.finditer(literal):
+        conv = m.group(2)
+        if conv not in "fFeEgG":
+            continue
+        prec = m.group(1)
+        if prec == "*":
+            yield m.start(), m.group(0), -1
+        else:
+            eff = 6 if prec is None else int(prec)
+            if eff < 17:
+                yield m.start(), m.group(0), eff
+
+
+def enclosing_function_tracker(code_lines):
+    """Best-effort map line-index -> enclosing function name. Tracks lines
+    that look like function definitions (NAME( ... with a following '{',
+    no ';' or '='), scoped by brace depth."""
+    names = [None] * len(code_lines)
+    current = []
+    depth = 0
+    pending = None
+    fn_def = re.compile(r"\b(\w+)\s*\([^;]*$|\b(\w+)\s*\(.*\)"
+                        r"\s*(?:const|noexcept|override|final)*\s*\{")
+    for idx, line in enumerate(code_lines):
+        stripped = blank_strings(line)
+        if pending is None and depth == len(current):
+            m = fn_def.search(stripped)
+            if m and ";" not in stripped:
+                name = m.group(1) or m.group(2)
+                if name and name not in CONTROL_KEYWORDS:
+                    pending = name
+        opens = stripped.count("{")
+        closes = stripped.count("}")
+        if pending is not None and opens > 0:
+            current.append(pending)
+            pending = None
+            depth += opens
+        else:
+            depth += opens
+        depth -= closes
+        if depth < 0:
+            depth = 0
+        while current and depth < len(current):
+            current.pop()
+        names[idx] = current[-1] if current else None
+    return names
+
+
+class FileLinter:
+    def __init__(self, path, display_path, fixture_mode=False):
+        self.path = path
+        self.display = display_path
+        self.fixture_mode = fixture_mode
+        with open(path, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.code, self.comments = strip_comments(self.text)
+        self.raw_lines = self.text.split("\n")
+        self.diags = []
+
+    def in_path(self, pattern):
+        return self.fixture_mode or bool(pattern.search(self.display))
+
+    def add(self, lineno, col, message, check):
+        self.diags.append(
+            Diagnostic(self.display, lineno + 1, col + 1, message, check))
+
+    def run(self):
+        self.check_wallclock()
+        self.check_naked_sync()
+        self.check_double_format()
+        self.check_nondeterminism()
+        self.check_narrowing()
+        return self.apply_nolint()
+
+    # -- the five checks ---------------------------------------------------
+
+    def check_wallclock(self):
+        for idx, line in enumerate(self.code):
+            code = blank_strings(line)
+            for pattern, what in WALLCLOCK_PATTERNS:
+                m = pattern.search(code)
+                if m:
+                    self.add(idx, m.start(),
+                             f"wall-clock time source '{what}' is banned: "
+                             "lease/heartbeat/simulation arithmetic must use "
+                             "util::MonotonicClock (util/clock.h); "
+                             "label-only uses need a justified NOLINT",
+                             "tracer-no-wallclock")
+                    break  # one diagnostic per line
+
+    def check_naked_sync(self):
+        if not self.fixture_mode and ALLOW_NAKED_SYNC.search(self.display):
+            return
+        for idx, line in enumerate(self.code):
+            m = NAKED_SYNC.search(blank_strings(line))
+            if m:
+                self.add(idx, m.start(),
+                         f"naked 'std::{m.group(1)}' bypasses the Clang "
+                         "thread-safety analysis; use the annotated "
+                         "util::Mutex / util::MutexLock / util::CondVar "
+                         "wrappers (util/sync.h)",
+                         "tracer-no-naked-sync")
+
+    def _in_scanf_call(self, idx):
+        """True if line `idx` belongs to a scanf-family call statement."""
+        for j in range(idx, max(idx - 4, -1), -1):
+            code = blank_strings(self.code[j])
+            if re.search(r"\b\w*scanf\s*\(", code):
+                return True
+            # A ';' on an earlier line ends the previous statement: the
+            # format literal on `idx` cannot belong to a call opened above.
+            if j < idx and ";" in code:
+                return False
+        return False
+
+    def check_double_format(self):
+        if not self.in_path(PATH_FILTER_CODEC):
+            return
+        for idx, line in enumerate(self.code):
+            # scanf-family formats parse text they do not produce; %lg there
+            # is mandatory for double and loses nothing (the clang check
+            # only matches printf-family callees for the same reason). The
+            # format string may sit a few lines below the callee, so scan
+            # back to the enclosing statement start for the call name.
+            if self._in_scanf_call(idx):
+                continue
+            for lit in STRING_LITERAL.finditer(line):
+                for off, spec, prec in lossy_format_specs(lit.group(1)):
+                    if prec < 0:
+                        msg = (f"dynamic precision '{spec}' in a codec path "
+                               "cannot be proven lossless; use a literal "
+                               "'%.17g' (round-trips every finite double)")
+                    else:
+                        msg = (f"'{spec}' loses double precision in a codec "
+                               f"path (effective precision {prec} < 17); use "
+                               "'%.17g' so every finite double round-trips "
+                               "bit-exactly")
+                    self.add(idx, lit.start(1) + off, msg,
+                             "tracer-lossless-double-format")
+
+    def check_nondeterminism(self):
+        if not self.in_path(PATH_FILTER_SIM):
+            return
+        unordered_vars = set()
+        for line in self.code:
+            for m in UNORDERED_DECL.finditer(blank_strings(line)):
+                unordered_vars.add(m.group(1))
+        for idx, line in enumerate(self.code):
+            code = blank_strings(line)
+            m = RAND_CALLS.search(code)
+            if m:
+                self.add(idx, m.start(),
+                         "entropy source in a simulation path breaks replay "
+                         "determinism; use util::Rng seeded from config",
+                         "tracer-no-nondeterminism-in-sim")
+                continue
+            m = UNSEEDED_ENGINE.search(code)
+            if m:
+                self.add(idx, m.start(),
+                         "unseeded random engine in a simulation path: seed "
+                         "explicitly from config so replays reproduce",
+                         "tracer-no-nondeterminism-in-sim")
+                continue
+            m = RANGE_FOR.search(code)
+            if m and m.group(1) in unordered_vars:
+                self.add(idx, m.start(),
+                         f"iterating unordered container '{m.group(1)}' in a "
+                         "simulation path is address-ordered and "
+                         "nondeterministic; iterate a vector/map or sort "
+                         "first (NOLINT with justification if the body "
+                         "provably commutes)",
+                         "tracer-no-nondeterminism-in-sim")
+
+    def check_narrowing(self):
+        if not self.in_path(PATH_FILTER_NARROW):
+            return
+        rank = {}
+        for line in self.code:
+            for m in INT_DECL.finditer(blank_strings(line)):
+                bits = m.group(2)
+                rank[m.group(3)] = int(bits) if bits else 64
+        fn_names = enclosing_function_tracker(self.code)
+        for idx, line in enumerate(self.code):
+            fn = fn_names[idx]
+            if fn is not None and not CODEC_FUNCTION.search(fn):
+                continue
+            code = blank_strings(line)
+            if "static_cast" in code:
+                continue
+            m = ASSIGNMENT.match(code)
+            if not m:
+                continue
+            lhs, rhs = m.group(1), m.group(2)
+            lhs_rank = rank.get(lhs)
+            if lhs_rank is None or lhs_rank >= 64:
+                continue
+            rhs_rank = 0
+            if re.search(r"\.\s*(size|length|count)\s*\(\)", rhs):
+                rhs_rank = 64
+            for ident in re.findall(r"[A-Za-z_]\w*", rhs):
+                rhs_rank = max(rhs_rank, rank.get(ident, 0))
+            if rhs_rank > lhs_rank:
+                self.add(idx, 0,
+                         f"implicit narrowing into {lhs_rank}-bit '{lhs}' in "
+                         f"codec function '{fn or '?'}' can silently truncate "
+                         "a wire field; make the width change an explicit "
+                         "static_cast next to a range check",
+                         "tracer-unchecked-narrowing-in-codec")
+
+    # -- NOLINT handling ---------------------------------------------------
+
+    def nolint_for_line(self, idx):
+        """Return (globs, justified, nolint_line) for a NOLINT suppressing
+        line idx, or None. Mirrors clang-tidy: same-line NOLINT or
+        NOLINTNEXTLINE on the previous line."""
+        for src_idx, want_next in ((idx, False), (idx - 1, True)):
+            if src_idx < 0 or src_idx >= len(self.raw_lines):
+                continue
+            text = self.raw_lines[src_idx]
+            m = NOLINT_RE.search(text)
+            if not m or bool(m.group(1)) != want_next:
+                continue
+            globs = [g.strip() for g in (m.group(2) or "*").split(",")]
+            justified = bool(JUSTIFIED_NOLINT.search(text))
+            return globs, justified, src_idx
+        return None
+
+    def apply_nolint(self):
+        kept = []
+        justification_sites = {}
+        for d in self.diags:
+            hit = self.nolint_for_line(d.line - 1)
+            if hit is None:
+                kept.append(d)
+                continue
+            globs, justified, src_idx = hit
+            if not any(fnmatch.fnmatch(d.check, g) for g in globs):
+                kept.append(d)
+                continue
+            if d.check.startswith("tracer-") and not justified:
+                justification_sites[src_idx] = d.check
+        for src_idx, check in sorted(justification_sites.items()):
+            kept.append(Diagnostic(
+                self.display, src_idx + 1, 1,
+                f"NOLINT suppressing '{check}' must carry an in-line "
+                "justification: '// NOLINT(" + check + "): <why this site "
+                "is exempt>' (docs/STATIC_ANALYSIS.md NOLINT policy)",
+                "tracer-nolint-justification"))
+        kept.sort(key=lambda d: (d.line, d.col, d.check))
+        return kept
+
+
+def collect_files(paths):
+    exts = (".cpp", ".h", ".cc", ".hpp")
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        else:
+            for root, _dirs, files in os.walk(p):
+                for name in sorted(files):
+                    if name.endswith(exts):
+                        out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def main(argv):
+    fixture_mode = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--fixture-mode":
+            fixture_mode = True
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("-"):
+            sys.exit(f"tracer_lint.py: unknown option {arg}\n{__doc__}")
+        else:
+            paths.append(arg)
+    if not paths:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = [os.path.join(root, "src")]
+    files = collect_files(paths)
+    if not files:
+        sys.exit("tracer_lint.py: no input files")
+    total = 0
+    for path in files:
+        display = os.path.abspath(path).replace(os.sep, "/")
+        linter = FileLinter(path, display, fixture_mode=fixture_mode)
+        for diag in linter.run():
+            print(diag)
+            total += 1
+    if total:
+        print(f"tracer_lint: {total} finding(s) across {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"tracer_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,8 +15,12 @@ namespace tracer::core {
 
 namespace {
 std::string now_iso8601() {
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  // The one sanctioned wall-clock read in the tree: TestRecord::timestamp
+  // is a human-readable label, never an input to timer or simulation
+  // arithmetic (util/clock.h spells out the contract).
+  const auto now = std::chrono::system_clock::now();  // NOLINT(tracer-no-wallclock): human-readable record label only; never subtracted
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);  // NOLINT(tracer-no-wallclock): converting the label above, not reading time
+
   char buffer[32];
   std::tm tm_utc{};
   gmtime_r(&t, &tm_utc);

@@ -185,6 +185,10 @@ void Database::export_csv(const std::string& path) const {
                  "avg_volts", "avg_watts", "joules", "iops", "mbps",
                  "avg_response_ms", "iops_per_watt", "mbps_per_kilowatt",
                  "power_valid"});
+  // Lossless doubles: the binary save() stores raw f64, so the CSV export
+  // — the interchange path external tooling re-ingests — must not be the
+  // one place a measurement silently rounds
+  // (tracer-lossless-double-format; the journal has the same contract).
   for (const auto& r : records_) {
     csv.row()
         .add(r.test_id)
@@ -192,18 +196,18 @@ void Database::export_csv(const std::string& path) const {
         .add(r.device)
         .add(r.trace_name)
         .add(r.request_size)
-        .add(r.random_ratio, 4)
-        .add(r.read_ratio, 4)
-        .add(r.load_proportion, 4)
-        .add(r.avg_amps, 4)
-        .add(r.avg_volts, 2)
-        .add(r.avg_watts, 3)
-        .add(r.joules, 3)
-        .add(r.iops, 2)
-        .add(r.mbps, 3)
-        .add(r.avg_response_ms, 3)
-        .add(r.iops_per_watt, 4)
-        .add(r.mbps_per_kilowatt, 3)
+        .add_lossless(r.random_ratio)
+        .add_lossless(r.read_ratio)
+        .add_lossless(r.load_proportion)
+        .add_lossless(r.avg_amps)
+        .add_lossless(r.avg_volts)
+        .add_lossless(r.avg_watts)
+        .add_lossless(r.joules)
+        .add_lossless(r.iops)
+        .add_lossless(r.mbps)
+        .add_lossless(r.avg_response_ms)
+        .add_lossless(r.iops_per_watt)
+        .add_lossless(r.mbps_per_kilowatt)
         .add(static_cast<std::uint64_t>(r.power_valid ? 1 : 0))
         .done();
   }

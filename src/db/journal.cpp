@@ -164,29 +164,40 @@ std::string CampaignJournal::encode_line(const TestRecord& r) {
   }
   std::ostringstream buffer;
   util::CsvWriter csv(buffer);
+  // The journal is the resume/merge source of truth, so every double is
+  // written %.17g (add_lossless): a record loaded after a crash must
+  // compare bit-equal to the one measured before it. Display-precision
+  // rows (the pre-fix .add(x, 4) encoding) silently rounded measurements
+  // at 1e-4 relative on every resume — the PR 9 %.9g wire bug class, one
+  // layer down. Legacy rows parse unchanged.
   csv.row()
       .add(r.test_id)
       .add(r.timestamp)
       .add(r.device)
       .add(r.trace_name)
       .add(r.request_size)
-      .add(r.random_ratio, 4)
-      .add(r.read_ratio, 4)
-      .add(r.load_proportion, 4)
-      .add(r.avg_amps, 4)
-      .add(r.avg_volts, 2)
-      .add(r.avg_watts, 3)
-      .add(r.joules, 3)
-      .add(r.iops, 2)
-      .add(r.mbps, 3)
-      .add(r.avg_response_ms, 3)
-      .add(r.iops_per_watt, 4)
-      .add(r.mbps_per_kilowatt, 3)
+      .add_lossless(r.random_ratio)
+      .add_lossless(r.read_ratio)
+      .add_lossless(r.load_proportion)
+      .add_lossless(r.avg_amps)
+      .add_lossless(r.avg_volts)
+      .add_lossless(r.avg_watts)
+      .add_lossless(r.joules)
+      .add_lossless(r.iops)
+      .add_lossless(r.mbps)
+      .add_lossless(r.avg_response_ms)
+      .add_lossless(r.iops_per_watt)
+      .add_lossless(r.mbps_per_kilowatt)
       .add(static_cast<std::uint64_t>(r.power_valid ? 1 : 0))
       .done();
   std::string line = buffer.str();
   if (!line.empty() && line.back() == '\n') line.pop_back();
   return line + ',' + checksum_hex(line);
+}
+
+bool CampaignJournal::parse_record_line(const std::string& line,
+                                        TestRecord& out) {
+  return validate_record_line(line, out);
 }
 
 CampaignJournal::CampaignJournal(std::filesystem::path path)
@@ -285,7 +296,14 @@ std::vector<TestRecord> CampaignJournal::load(
 
 std::string CampaignJournal::key(const std::string& trace_name,
                                  double load_proportion) {
-  return util::format("%s@%.4f", trace_name.c_str(), load_proportion);
+  // %.17g: the resume key must be collision-free (two loads 5e-5 apart
+  // used to fold into the same %.4f key and alias each other's journal
+  // rows) AND stable across the journal round trip — %.17g re-encodes a
+  // parsed value to the identical string, so a loaded record still matches
+  // its planned test. Legacy journals written at 4-digit precision keep
+  // matching for loads that round-trip through 4 decimals (every paper
+  // load level does); odd legacy loads re-run instead of aliasing.
+  return util::format("%s@%.17g", trace_name.c_str(), load_proportion);
 }
 
 JournalMerger::JournalMerger(std::filesystem::path path)

@@ -65,6 +65,12 @@ class CampaignJournal {
   /// the checksum column appended. Exposed for tests.
   static std::string encode_line(const TestRecord& record);
 
+  /// Validate one raw journal line exactly as load() and open-time
+  /// recovery do: a checksummed row must verify against its own bytes, a
+  /// legacy (17/18-column) row must fully parse. Fills `out` on success.
+  /// Exposed for tests and the fuzz harness (fuzz/fuzz_journal_row.cpp).
+  static bool parse_record_line(const std::string& line, TestRecord& out);
+
  private:
   std::filesystem::path path_;  ///< immutable after construction
   RecoveryInfo recovery_;       ///< immutable after construction

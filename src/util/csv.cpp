@@ -40,6 +40,11 @@ CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(double v, int precision) {
   return *this;
 }
 
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add_lossless(double v) {
+  fields_.push_back(format("%.17g", v));
+  return *this;
+}
+
 CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::uint64_t v) {
   fields_.push_back(std::to_string(v));
   return *this;

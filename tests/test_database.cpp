@@ -108,6 +108,55 @@ TEST(Database, SaveLoadRoundTrip) {
   std::filesystem::remove(path);
 }
 
+// Binary save() stores raw f64 and must stay bit-exact (pins the codec
+// contract the CSV export below is held to).
+TEST(Database, SaveLoadPreservesFullDoublePrecision) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_db_lossless.trdb";
+  Database database;
+  TestRecord record = sample_record("hdd", 1.0 / 3.0);
+  record.joules = 123.45678912345678;
+  record.avg_watts = 3.141592653589793;
+  record.avg_amps = 1.25e-7;
+  record.iops = 99999.000000001;
+  database.insert(record);
+  database.save(path.string());
+
+  const Database loaded = Database::open(path.string());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.all(), database.all());
+  std::filesystem::remove(path);
+}
+
+// Fail-pre-fix regression (tracer-lossless-double-format audit): the CSV
+// export rounded doubles to 2-4 decimals, so external tooling re-ingesting
+// the interchange file saw different measurements than the binary
+// database holds. Every exported double must parse back bit-equal.
+TEST(Database, CsvExportRoundTripsDoublesBitExactly) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tracer_db_lossless.csv";
+  Database database;
+  TestRecord record = sample_record("hdd", 1.0 / 3.0);
+  record.joules = 123.45678912345678;
+  record.avg_watts = 3.141592653589793;
+  record.avg_amps = 1.25e-7;  // below the old %.4f floor
+  record.iops = 99999.000000001;
+  const auto id = database.insert(record);
+  database.export_csv(path.string());
+
+  const auto rows = util::CsvReader::load(path.string());
+  ASSERT_EQ(rows.size(), 2u);
+  const auto& fields = rows[1];
+  const TestRecord& stored = database.get(id);
+  // Column order matches the header row written by export_csv.
+  EXPECT_EQ(std::stod(fields[7]), stored.load_proportion);
+  EXPECT_EQ(std::stod(fields[8]), stored.avg_amps);
+  EXPECT_EQ(std::stod(fields[10]), stored.avg_watts);
+  EXPECT_EQ(std::stod(fields[11]), stored.joules);
+  EXPECT_EQ(std::stod(fields[12]), stored.iops);
+  std::filesystem::remove(path);
+}
+
 TEST(Database, OpenMissingFileIsEmpty) {
   const Database database = Database::open("/nonexistent/file.trdb");
   EXPECT_EQ(database.size(), 0u);

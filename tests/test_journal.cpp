@@ -245,5 +245,72 @@ TEST_F(JournalTest, MergerResumesSeenSetFromJournal) {
   EXPECT_EQ(CampaignJournal::load(path()).size(), 3u);
 }
 
+// Fail-pre-fix regression (tracer-lossless-double-format audit): rows were
+// encoded at display precision (%.4f / %.3f / %.2f), so a record loaded on
+// resume differed from the one measured before the crash — the PR 9 %.9g
+// wire bug one layer down. Every double field must survive the journal
+// round trip bit-exactly.
+TEST_F(JournalTest, AppendLoadRoundTripsDoublesBitExactly) {
+  TestRecord r = make_record(1);
+  r.random_ratio = 1.0 / 3.0;
+  r.read_ratio = 0.1 + 0.2;  // 0.30000000000000004
+  r.load_proportion = 0.1234567890123456;
+  r.avg_amps = 1.25e-7;  // below the old %.4f floor: was stored as 0.0000
+  r.avg_volts = 219.99999999999997;
+  r.avg_watts = 3.141592653589793;
+  r.joules = 123.45678912345678;
+  r.iops = 99999.000000001;
+  r.mbps = 2.2250738585072014e-308;  // smallest normal double
+  r.avg_response_ms = 0.0001220703125;
+  r.iops_per_watt = 1.7976931348623157e308;  // largest finite double
+  r.mbps_per_kilowatt = 5366.000000000001;
+  {
+    CampaignJournal journal(path());
+    journal.append(r);
+  }
+  const auto loaded = CampaignJournal::load(path());
+  ASSERT_EQ(loaded.size(), 1u);
+  const TestRecord& l = loaded[0];
+  EXPECT_EQ(l.random_ratio, r.random_ratio);
+  EXPECT_EQ(l.read_ratio, r.read_ratio);
+  EXPECT_EQ(l.load_proportion, r.load_proportion);
+  EXPECT_EQ(l.avg_amps, r.avg_amps);
+  EXPECT_EQ(l.avg_volts, r.avg_volts);
+  EXPECT_EQ(l.avg_watts, r.avg_watts);
+  EXPECT_EQ(l.joules, r.joules);
+  EXPECT_EQ(l.iops, r.iops);
+  EXPECT_EQ(l.mbps, r.mbps);
+  EXPECT_EQ(l.avg_response_ms, r.avg_response_ms);
+  EXPECT_EQ(l.iops_per_watt, r.iops_per_watt);
+  EXPECT_EQ(l.mbps_per_kilowatt, r.mbps_per_kilowatt);
+}
+
+// Fail-pre-fix regression: the %.4f resume key folded loads closer than
+// 5e-5 into the same key, so two distinct planned tests aliased each
+// other's journal rows and one of them was silently never run.
+TEST_F(JournalTest, KeySeparatesLoadsCloserThanLegacyPrecision) {
+  EXPECT_NE(CampaignJournal::key("t", 0.12341),
+            CampaignJournal::key("t", 0.12344));
+  EXPECT_EQ(CampaignJournal::key("t", 0.12341),
+            CampaignJournal::key("t", 0.12341));
+}
+
+// The key must also be stable across the journal round trip: a resumed
+// campaign recomputes keys from *loaded* records and matches them against
+// keys computed from *planned* (in-memory) doubles.
+TEST_F(JournalTest, KeyStableAcrossJournalRoundTrip) {
+  TestRecord r = make_record(7);
+  r.load_proportion = 1.0 / 3.0;
+  {
+    CampaignJournal journal(path());
+    journal.append(r);
+  }
+  const auto loaded = CampaignJournal::load(path());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(CampaignJournal::key(r.trace_name, r.load_proportion),
+            CampaignJournal::key(loaded[0].trace_name,
+                                 loaded[0].load_proportion));
+}
+
 }  // namespace
 }  // namespace tracer::db

@@ -1,0 +1,128 @@
+#include "LosslessDoubleFormatCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::tracer {
+
+namespace {
+
+struct LossyConversion {
+  std::string Spec; // e.g. "%.4f" or "%g"
+  int Precision;    // -1 = absent (defaults to 6), -2 = dynamic '*'
+};
+
+/// Scan a printf format string for floating conversions with precision
+/// below 17. Mirrors the subset of the printf grammar the codebase uses:
+/// %[flags][width][.precision][length]conversion.
+std::vector<LossyConversion> findLossyConversions(StringRef Format) {
+  std::vector<LossyConversion> Out;
+  for (size_t I = 0; I < Format.size(); ++I) {
+    if (Format[I] != '%')
+      continue;
+    const size_t Start = I;
+    ++I;
+    if (I < Format.size() && Format[I] == '%')
+      continue; // literal %%
+    while (I < Format.size() && StringRef("-+ #0'").contains(Format[I]))
+      ++I;
+    while (I < Format.size() &&
+           (isDigit(Format[I]) || Format[I] == '*')) // width
+      ++I;
+    int Precision = -1;
+    if (I < Format.size() && Format[I] == '.') {
+      ++I;
+      if (I < Format.size() && Format[I] == '*') {
+        Precision = -2;
+        ++I;
+      } else {
+        Precision = 0;
+        while (I < Format.size() && isDigit(Format[I])) {
+          Precision = Precision * 10 + (Format[I] - '0');
+          ++I;
+        }
+      }
+    }
+    while (I < Format.size() && StringRef("hljztL").contains(Format[I]))
+      ++I;
+    if (I >= Format.size())
+      break;
+    const char Conv = Format[I];
+    if (StringRef("fFeEgG").contains(Conv)) {
+      if (Precision == -2 || (Precision == -1 ? 6 : Precision) < 17)
+        Out.push_back({std::string(Format.substr(Start, I - Start + 1)),
+                       Precision});
+    }
+  }
+  return Out;
+}
+
+/// Index of the format-string argument for the supported callees.
+int formatArgIndex(StringRef Callee) {
+  if (Callee == "printf" || Callee == "format")
+    return 0;
+  if (Callee == "fprintf" || Callee == "sprintf" || Callee == "dprintf")
+    return 1;
+  if (Callee == "snprintf")
+    return 2;
+  return -1;
+}
+
+} // namespace
+
+void LosslessDoubleFormatCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PathFilter", PathFilter);
+}
+
+void LosslessDoubleFormatCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::printf", "::fprintf", "::sprintf",
+                              "::snprintf", "::dprintf",
+                              "::tracer::util::format"))))
+          .bind("fmtcall"),
+      this);
+}
+
+void LosslessDoubleFormatCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("fmtcall");
+  if (!Call)
+    return;
+  const SourceLocation Loc = Call->getBeginLoc();
+  if (Loc.isInvalid() || Result.SourceManager->isInSystemHeader(Loc))
+    return;
+  const std::string File = locationFile(*Result.SourceManager, Loc);
+  if (!pathMatches(PathFilter, File))
+    return;
+  const FunctionDecl *FD = Call->getDirectCallee();
+  if (!FD)
+    return;
+  const int FmtIdx = formatArgIndex(FD->getName());
+  if (FmtIdx < 0 || static_cast<unsigned>(FmtIdx) >= Call->getNumArgs())
+    return;
+  const auto *Fmt = dyn_cast<StringLiteral>(
+      Call->getArg(FmtIdx)->IgnoreParenImpCasts());
+  if (!Fmt || !Fmt->isOrdinary())
+    return;
+  for (const LossyConversion &C : findLossyConversions(Fmt->getString())) {
+    if (C.Precision == -2) {
+      diag(Fmt->getBeginLoc(),
+           "dynamic precision '%0' in a codec path cannot be proven "
+           "lossless; use a literal '%%.17g' (round-trips every finite "
+           "double)")
+          << C.Spec;
+    } else {
+      diag(Fmt->getBeginLoc(),
+           "'%0' loses double precision in a codec path (effective "
+           "precision %1 < 17); use '%%.17g' so every finite double "
+           "round-trips bit-exactly")
+          << C.Spec << (C.Precision == -1 ? 6 : C.Precision);
+    }
+  }
+}
+
+} // namespace clang::tidy::tracer

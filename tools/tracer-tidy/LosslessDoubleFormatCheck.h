@@ -1,0 +1,46 @@
+// tracer-lossless-double-format: wire/journal doubles must round-trip.
+//
+// PR 9's fleet merge depends on a journal row encoded by a remote worker
+// being bit-identical to one produced locally; %.9g on net::Message doubles
+// silently broke that (the exact bug class this check encodes). %.17g is
+// the smallest printf precision that round-trips every finite IEEE-754
+// double, so in codec paths any printf-family floating conversion with a
+// smaller (or dynamic) precision is an error.
+//
+// Flags %f/%F/%e/%E/%g/%G conversions whose precision is absent (printf
+// defaults to 6), below 17, or '*' (unprovable at compile time) in calls to
+// printf, fprintf, sprintf, snprintf, and tracer::util::format — but only
+// in files matching PathFilter. %a/%A are exempt: hex floats are exact.
+//
+// Options:
+//   PathFilter — POSIX regex selecting codec paths. Default
+//                "/(net|db)/|fleet_wire": the wire protocol, the journal /
+//                results database, and the fleet shard codec. Report
+//                output (storage/diskspec pretty-printer, obs exports) is
+//                deliberately out of scope — lossy display precision there
+//                is a feature.
+#pragma once
+
+#include "TracerTidyUtils.h"
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::tracer {
+
+class LosslessDoubleFormatCheck : public ClangTidyCheck {
+public:
+  LosslessDoubleFormatCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        PathFilter(Options.get("PathFilter", "/(net|db)/|fleet_wire")) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string PathFilter;
+};
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,47 @@
+#include "NoNakedSyncCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::tracer {
+
+void NoNakedSyncCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowlistFiles", AllowlistFiles);
+}
+
+void NoNakedSyncCheck::registerMatchers(MatchFinder *Finder) {
+  const auto SyncPrimitive = namedDecl(hasAnyName(
+      "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+      "::std::recursive_timed_mutex", "::std::shared_mutex",
+      "::std::shared_timed_mutex", "::std::condition_variable",
+      "::std::condition_variable_any", "::std::lock_guard",
+      "::std::unique_lock", "::std::scoped_lock", "::std::shared_lock"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(SyncPrimitive)))).bind("synctype"),
+      this);
+}
+
+void NoNakedSyncCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("synctype");
+  if (!TL)
+    return;
+  const SourceLocation Loc = TL->getBeginLoc();
+  if (Loc.isInvalid() || Result.SourceManager->isInSystemHeader(Loc))
+    return;
+  const std::string File = locationFile(*Result.SourceManager, Loc);
+  if (pathMatches(AllowlistFiles, File))
+    return;
+  const unsigned Raw =
+      Result.SourceManager->getExpansionLoc(Loc).getRawEncoding();
+  if (!Reported.insert(Raw).second)
+    return;
+  std::string Name = TL->getType().getUnqualifiedType().getAsString();
+  diag(Loc, "naked '%0' bypasses the Clang thread-safety analysis; use the "
+            "annotated util::Mutex / util::MutexLock / util::CondVar "
+            "wrappers (util/sync.h)")
+      << Name;
+}
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,48 @@
+// tracer-no-naked-sync: ban raw standard-library synchronisation primitives.
+//
+// PR 5 migrated every lock onto util::Mutex / util::MutexLock /
+// util::CondVar (util/sync.h), which carry Clang thread-safety capability
+// attributes so -Wthread-safety can prove lock discipline at compile time.
+// A naked std::mutex re-opens the hole: the analysis cannot see through it,
+// and GUARDED_BY contracts silently stop being checked. Until this check
+// existed the wrapper rule was enforced only by review convention.
+//
+// Flags any mention (declaration, member, local, parameter, alias) of:
+// std::mutex, std::timed_mutex, std::recursive_mutex,
+// std::recursive_timed_mutex, std::shared_mutex, std::shared_timed_mutex,
+// std::condition_variable, std::condition_variable_any, std::lock_guard,
+// std::unique_lock, std::scoped_lock, std::shared_lock.
+//
+// Options:
+//   AllowlistFiles — POSIX regex of exempt paths. Default "util/sync\.h$":
+//                    the wrapper implementation is the one sanctioned home
+//                    of the raw primitives.
+#pragma once
+
+#include "TracerTidyUtils.h"
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang::tidy::tracer {
+
+class NoNakedSyncCheck : public ClangTidyCheck {
+public:
+  NoNakedSyncCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        AllowlistFiles(Options.get("AllowlistFiles", "util/sync\\.h$")) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowlistFiles;
+  // A single declaration can surface as several overlapping TypeLocs
+  // (elaborated + template-specialisation); report each location once.
+  llvm::DenseSet<unsigned> Reported;
+};
+
+} // namespace clang::tidy::tracer

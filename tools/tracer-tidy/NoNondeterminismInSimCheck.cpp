@@ -1,0 +1,115 @@
+#include "NoNondeterminismInSimCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::tracer {
+
+void NoNondeterminismInSimCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PathFilter", PathFilter);
+}
+
+void NoNondeterminismInSimCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::random", "::srandom", "::drand48",
+                   "::lrand48", "::mrand48", "::rand_r"))))
+          .bind("randcall"),
+      this);
+  Finder->addMatcher(
+      typeLoc(loc(qualType(
+                  hasDeclaration(namedDecl(hasName("::std::random_device"))))))
+          .bind("randdev"),
+      this);
+  // Standard engines constructed with no seed argument: mt19937 and friends
+  // are aliases of these class templates.
+  Finder->addMatcher(
+      cxxConstructExpr(
+          hasDeclaration(cxxConstructorDecl(ofClass(hasAnyName(
+              "::std::mersenne_twister_engine",
+              "::std::linear_congruential_engine",
+              "::std::subtract_with_carry_engine")))),
+          argumentCountIs(0))
+          .bind("unseeded"),
+      this);
+  Finder->addMatcher(cxxForRangeStmt().bind("rangefor"), this);
+}
+
+void NoNondeterminismInSimCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  enum { kRandCall, kRandDev, kUnseeded, kUnorderedIter } Kind = kRandCall;
+  StringRef What;
+  std::string TypeName;
+
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("randcall")) {
+    Loc = Call->getBeginLoc();
+    Kind = kRandCall;
+    if (const FunctionDecl *FD = Call->getDirectCallee())
+      What = FD->getName();
+  } else if (const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("randdev")) {
+    Loc = TL->getBeginLoc();
+    Kind = kRandDev;
+  } else if (const auto *Ctor =
+                 Result.Nodes.getNodeAs<CXXConstructExpr>("unseeded")) {
+    Loc = Ctor->getBeginLoc();
+    Kind = kUnseeded;
+    TypeName = Ctor->getType().getUnqualifiedType().getAsString();
+  } else if (const auto *Range =
+                 Result.Nodes.getNodeAs<CXXForRangeStmt>("rangefor")) {
+    const Expr *Init = Range->getRangeInit();
+    if (!Init)
+      return;
+    QualType T = Init->getType()
+                     .getNonReferenceType()
+                     .getCanonicalType()
+                     .getUnqualifiedType();
+    const auto *RD = T->getAsCXXRecordDecl();
+    if (!RD)
+      return;
+    const std::string Qualified = RD->getQualifiedNameAsString();
+    // rfind(.., 0) == starts_with; spelled this way to stay compatible
+    // across the LLVM 15..18 StringRef API rename.
+    if (Qualified.rfind("std::unordered_", 0) != 0)
+      return;
+    Loc = Range->getBeginLoc();
+    Kind = kUnorderedIter;
+    TypeName = Qualified;
+  } else {
+    return;
+  }
+
+  if (Loc.isInvalid() || Result.SourceManager->isInSystemHeader(Loc))
+    return;
+  if (!pathMatches(PathFilter, locationFile(*Result.SourceManager, Loc)))
+    return;
+
+  switch (Kind) {
+  case kRandCall:
+    diag(Loc, "'%0' in a simulation path breaks replay determinism; use "
+              "util::Rng seeded from config")
+        << What;
+    break;
+  case kRandDev:
+    diag(Loc, "std::random_device in a simulation path is never "
+              "reproducible; use util::Rng seeded from config");
+    break;
+  case kUnseeded:
+    diag(Loc, "unseeded '%0' in a simulation path: the default seed hides "
+              "the dependency on entropy policy; seed explicitly from "
+              "config so replays reproduce")
+        << TypeName;
+    break;
+  case kUnorderedIter:
+    diag(Loc, "iterating '%0' in a simulation path is address-ordered and "
+              "nondeterministic; iterate a vector/map or sort first "
+              "(NOLINT with justification if the body provably commutes)")
+        << TypeName;
+    break;
+  }
+}
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,70 @@
+#include "NoWallclockCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::tracer {
+
+void NoWallclockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowlistFiles", AllowlistFiles);
+}
+
+void NoWallclockCheck::registerMatchers(MatchFinder *Finder) {
+  // C-library wall-clock *sources*. Formatting helpers that only convert
+  // an already-obtained time_t (gmtime_r, strftime) stay legal: the
+  // invariant is about where time is read, not how labels are printed.
+  // ::clock() measures CPU time, not wall time, but has burned enough
+  // people mixing it with Seconds that it is banned alongside the others.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::time", "::gettimeofday",
+                                              "::timespec_get", "::ftime",
+                                              "::clock"))))
+          .bind("wallcall"),
+      this);
+
+  // std::chrono::system_clock::now() / to_time_t / time_point<system_clock>
+  // — catch the qualifier (`system_clock::now`), explicit template
+  // arguments, and direct references to its static members.
+  const auto SystemClock = cxxRecordDecl(hasName("::std::chrono::system_clock"));
+  Finder->addMatcher(
+      nestedNameSpecifierLoc(specifiesType(hasDeclaration(SystemClock)))
+          .bind("wallqual"),
+      this);
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(SystemClock)))).bind("walltype"),
+      this);
+  Finder->addMatcher(
+      declRefExpr(to(decl(hasDeclContext(SystemClock)))).bind("wallref"),
+      this);
+}
+
+void NoWallclockCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  StringRef What = "std::chrono::system_clock";
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("wallcall")) {
+    Loc = Call->getBeginLoc();
+    if (const FunctionDecl *FD = Call->getDirectCallee())
+      What = FD->getName();
+  } else if (const auto *Qual =
+                 Result.Nodes.getNodeAs<NestedNameSpecifierLoc>("wallqual")) {
+    Loc = Qual->getBeginLoc();
+  } else if (const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("walltype")) {
+    Loc = TL->getBeginLoc();
+  } else if (const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("wallref")) {
+    Loc = Ref->getBeginLoc();
+  }
+  if (Loc.isInvalid())
+    return;
+  const std::string File = locationFile(*Result.SourceManager, Loc);
+  if (Result.SourceManager->isInSystemHeader(Loc) ||
+      pathMatches(AllowlistFiles, File))
+    return;
+  diag(Loc, "wall-clock time source '%0' is banned: lease/heartbeat/"
+            "simulation arithmetic must use util::MonotonicClock "
+            "(util/clock.h); label-only uses need a justified NOLINT")
+      << What;
+}
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,42 @@
+// tracer-no-wallclock: ban wall-clock time sources in timer arithmetic.
+//
+// Lease deadlines, heartbeat liveness windows, steal timers, and all
+// simulation time math must run on util::MonotonicClock (or
+// std::chrono::steady_clock inside net::): an NTP step or suspend/resume
+// would otherwise mass-expire every lease in the fleet at once
+// (docs/FLEET.md, util/clock.h). The one legitimate wall-clock use —
+// human-readable TestRecord timestamp labels in EvaluationHost — carries a
+// justified NOLINT.
+//
+// Flags: std::chrono::system_clock (any member or mention), ::time(),
+// ::gettimeofday(), ::timespec_get(), ::ftime(), ::clock().
+//
+// Options:
+//   AllowlistFiles — POSIX regex of file paths exempt from the check
+//                    (default: empty; prefer per-line NOLINT with a
+//                    justification over file-level exemption).
+#pragma once
+
+#include "TracerTidyUtils.h"
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::tracer {
+
+class NoWallclockCheck : public ClangTidyCheck {
+public:
+  NoWallclockCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        AllowlistFiles(Options.get("AllowlistFiles", "")) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowlistFiles;
+};
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,38 @@
+// TracerTidyModule: registers the five TRACER invariant checks with
+// clang-tidy. Loaded with `clang-tidy -load=libtracer_tidy_module.so
+// -checks=tracer-*` (scripts/run_clang_tidy.sh --plugin does this); the
+// check set and its rationale live in docs/STATIC_ANALYSIS.md.
+#include "LosslessDoubleFormatCheck.h"
+#include "NoNakedSyncCheck.h"
+#include "NoNondeterminismInSimCheck.h"
+#include "UncheckedNarrowingInCodecCheck.h"
+#include "NoWallclockCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace tracer {
+
+class TracerTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<NoWallclockCheck>("tracer-no-wallclock");
+    CheckFactories.registerCheck<NoNakedSyncCheck>("tracer-no-naked-sync");
+    CheckFactories.registerCheck<LosslessDoubleFormatCheck>(
+        "tracer-lossless-double-format");
+    CheckFactories.registerCheck<NoNondeterminismInSimCheck>(
+        "tracer-no-nondeterminism-in-sim");
+    CheckFactories.registerCheck<UncheckedNarrowingInCodecCheck>(
+        "tracer-unchecked-narrowing-in-codec");
+  }
+};
+
+} // namespace tracer
+
+// Register the module with clang-tidy's global registry; the anchor keeps
+// the registration object alive in the shared module.
+static ClangTidyModuleRegistry::Add<tracer::TracerTidyModule>
+    X("tracer-module", "TRACER determinism/clock/lock/wire invariants");
+volatile int TracerTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy

@@ -1,0 +1,42 @@
+// Shared helpers for the TRACER clang-tidy checks (docs/STATIC_ANALYSIS.md).
+//
+// Every check in this module is path-scoped: the invariants apply to
+// specific subsystems (wall-clock bans everywhere, wire precision only in
+// codec paths, determinism only in simulation paths), so each check carries
+// a PathFilter / AllowlistFiles option holding an extended-POSIX regex that
+// is matched against the forward-slashed absolute path of the file
+// containing the diagnostic location.
+#pragma once
+
+#include <string>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallString.h"
+#include "llvm/Support/Path.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::tracer {
+
+/// Forward-slashed file path containing `Loc` (after macro expansion), or
+/// empty when the location is invalid / in a virtual buffer.
+inline std::string locationFile(const SourceManager &SM, SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return {};
+  StringRef Name = SM.getFilename(SM.getExpansionLoc(Loc));
+  if (Name.empty())
+    return {};
+  llvm::SmallString<256> Path(Name);
+  llvm::sys::path::native(Path, llvm::sys::path::Style::posix);
+  return std::string(Path);
+}
+
+/// True when `Pattern` is non-empty and matches `File`. An empty pattern
+/// never matches (used for allowlists that default to "no exemptions").
+inline bool pathMatches(const std::string &Pattern, const std::string &File) {
+  if (Pattern.empty() || File.empty())
+    return false;
+  return llvm::Regex(Pattern).match(File);
+}
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,72 @@
+#include "UncheckedNarrowingInCodecCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::tracer {
+
+void UncheckedNarrowingInCodecCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PathFilter", PathFilter);
+  Options.store(Opts, "FunctionFilter", FunctionFilter);
+}
+
+void UncheckedNarrowingInCodecCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      implicitCastExpr(hasCastKind(CK_IntegralCast),
+                       forFunction(functionDecl().bind("fn")))
+          .bind("cast"),
+      this);
+}
+
+void UncheckedNarrowingInCodecCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<ImplicitCastExpr>("cast");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (!Cast || !Fn || !Result.Context)
+    return;
+  const SourceLocation Loc = Cast->getBeginLoc();
+  if (Loc.isInvalid() || Result.SourceManager->isInSystemHeader(Loc))
+    return;
+  if (!pathMatches(PathFilter, locationFile(*Result.SourceManager, Loc)))
+    return;
+  if (!llvm::Regex(FunctionFilter).match(Fn->getNameAsString()))
+    return;
+
+  ASTContext &Ctx = *Result.Context;
+  const Expr *Src = Cast->getSubExpr();
+  const QualType From = Src->getType();
+  const QualType To = Cast->getType();
+  if (From->isBooleanType() || To->isBooleanType() || From->isEnumeralType() ||
+      To->isEnumeralType())
+    return;
+  const uint64_t FromWidth = Ctx.getIntWidth(From);
+  const uint64_t ToWidth = Ctx.getIntWidth(To);
+  if (ToWidth >= FromWidth)
+    return;
+
+  // A constant that provably fits the destination is not a truncation:
+  // `std::uint8_t version = 2;` stays legal.
+  if (!Src->isValueDependent()) {
+    Expr::EvalResult Eval;
+    if (Src->EvaluateAsInt(Eval, Ctx)) {
+      const llvm::APSInt V = Eval.Val.getInt();
+      const bool Fits = To->isSignedIntegerType()
+                            ? V.isSignedIntN(ToWidth)
+                            : (!V.isNegative() && V.isIntN(ToWidth));
+      if (Fits)
+        return;
+    }
+  }
+
+  diag(Loc, "implicit %0 -> %1 narrowing in codec function '%2' can "
+            "silently truncate a wire field; make the width change an "
+            "explicit static_cast next to a range check")
+      << From.getUnqualifiedType().getAsString()
+      << To.getUnqualifiedType().getAsString() << Fn->getNameAsString();
+}
+
+} // namespace clang::tidy::tracer

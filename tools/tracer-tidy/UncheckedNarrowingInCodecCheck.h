@@ -1,0 +1,50 @@
+// tracer-unchecked-narrowing-in-codec: wire widths change on purpose only.
+//
+// Encode/decode functions move values between in-memory types (size_t,
+// u64) and wire field widths (u8/u16/u32). An *implicit* narrowing there is
+// how a format silently truncates — a 5-GiB payload length folded into a
+// u32, a field count into a u16 — and the resulting frame parses cleanly on
+// the other side with the wrong value. The codebase's convention (PR 4/6
+// hardening) is: every width change in a codec is an explicit static_cast
+// sitting next to a range check (or next to a comment explaining why the
+// range is structurally bounded).
+//
+// Flags implicit integral conversions that lose width (destination
+// strictly narrower than source) inside functions whose name matches
+// FunctionFilter, in files matching PathFilter. Compile-time constants
+// that provably fit the destination are exempt (u8 x = 0 stays legal).
+//
+// Options:
+//   PathFilter     — POSIX regex for codec files. Default
+//                    "/(net|db|trace)/|fleet_wire".
+//   FunctionFilter — POSIX regex over the enclosing function name. Default
+//                    "encode|decode|serial|parse|read|write|load|store".
+#pragma once
+
+#include "TracerTidyUtils.h"
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::tracer {
+
+class UncheckedNarrowingInCodecCheck : public ClangTidyCheck {
+public:
+  UncheckedNarrowingInCodecCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        PathFilter(Options.get("PathFilter", "/(net|db|trace)/|fleet_wire")),
+        FunctionFilter(Options.get(
+            "FunctionFilter",
+            "encode|decode|serial|parse|read|write|load|store")) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string PathFilter;
+  const std::string FunctionFilter;
+};
+
+} // namespace clang::tidy::tracer

@@ -1,0 +1,24 @@
+// Fail fixture for tracer-no-wallclock: every marked line must produce a
+// diagnostic. `expect:` markers are parsed by the fixture runner
+// (tests/test_tracer_tidy_fixtures.cpp); `expect-lint-only:` lines are
+// enforced only by scripts/tracer_lint.py (clang-tidy suppresses the
+// diagnostic via NOLINT but cannot check for a justification).
+#include <chrono>
+#include <ctime>
+
+#include <sys/time.h>
+
+double lease_deadline_seconds() {
+  auto now = std::chrono::system_clock::now();  // expect: tracer-no-wallclock
+  const std::time_t stamp = std::time(nullptr);  // expect: tracer-no-wallclock
+  struct timeval tv {};
+  gettimeofday(&tv, nullptr);  // expect: tracer-no-wallclock
+  return std::chrono::duration<double>(now.time_since_epoch()).count() +
+         static_cast<double>(stamp) + static_cast<double>(tv.tv_sec);
+}
+
+std::chrono::system_clock::time_point next_heartbeat() {  // expect: tracer-no-wallclock
+  // A NOLINT without a justification is itself a violation of the NOLINT
+  // policy (docs/STATIC_ANALYSIS.md) — the fallback linter flags it.
+  return std::chrono::system_clock::now();  // NOLINT(tracer-no-wallclock)  expect-lint-only: tracer-nolint-justification
+}

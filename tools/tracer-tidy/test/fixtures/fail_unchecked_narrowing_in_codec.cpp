@@ -1,0 +1,20 @@
+// Fail fixture for tracer-unchecked-narrowing-in-codec: implicit width
+// loss inside an encode/decode function is how a codec silently truncates
+// a wire field (a 5-GiB payload length folded into a u32 still parses).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+std::uint32_t encode_field_count(const std::vector<std::string>& fields) {
+  std::uint32_t count = fields.size();  // expect: tracer-unchecked-narrowing-in-codec
+  return count;
+}
+
+void encode_header(std::uint64_t payload_bytes, std::uint32_t* out) {
+  *out = payload_bytes;  // expect: tracer-unchecked-narrowing-in-codec
+}
+
+std::uint16_t decode_sequence(std::uint32_t wire_field) {
+  std::uint16_t sequence = wire_field;  // expect: tracer-unchecked-narrowing-in-codec
+  return sequence;
+}

@@ -1,0 +1,21 @@
+// Pass fixture for tracer-lossless-double-format: %.17g round-trips every
+// finite double; integer/string conversions and %% literals are out of
+// scope; hex floats (%a) are exact by construction. Must be silent.
+#include <cstdio>
+#include <string>
+
+namespace tracer::util {
+std::string format(const char* fmt, ...);
+}
+
+void encode_power_field(char* buf, unsigned long n, double watts) {
+  std::snprintf(buf, n, "%.17g", watts);
+  std::snprintf(buf, n, "%.20g", watts);
+  std::snprintf(buf, n, "%a", watts);
+}
+
+std::string encode_record(double joules, unsigned long long id) {
+  std::string row = tracer::util::format("%llu=%.17g 100%%", id, joules);
+  row += tracer::util::format("%s %d", "label", 42);
+  return row;
+}

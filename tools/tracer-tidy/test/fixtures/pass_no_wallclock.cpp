@@ -1,0 +1,33 @@
+// Pass fixture for tracer-no-wallclock: must be completely silent.
+// Monotonic sources are legal everywhere; the one sanctioned wall-clock
+// use (a human-readable timestamp label) carries a justified NOLINT.
+#include <chrono>
+#include <string>
+
+namespace tracer::util {
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  virtual double now() const = 0;
+};
+}  // namespace tracer::util
+
+double elapsed_seconds(const tracer::util::MonotonicClock& clock,
+                       double start) {
+  return clock.now() - start;
+}
+
+double steady_seconds() {
+  // steady_clock is monotonic: immune to NTP steps and suspend/resume.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string record_timestamp_label() {
+  const auto now =
+      std::chrono::system_clock::now();  // NOLINT(tracer-no-wallclock): human-readable TestRecord label; never fed into timer arithmetic (util/clock.h)
+  return std::to_string(
+      std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch())
+          .count());
+}

@@ -1,0 +1,21 @@
+// Pass fixture for tracer-unchecked-narrowing-in-codec: explicit
+// static_casts beside range checks, widening conversions, and in-range
+// constants are all legal. Must be silent.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+std::uint32_t encode_field_count(const std::vector<std::string>& fields) {
+  if (fields.size() > 0xFFFFFFFFu) {
+    throw std::length_error("field count exceeds wire u32");
+  }
+  std::uint32_t count = static_cast<std::uint32_t>(fields.size());
+  return count;
+}
+
+std::uint64_t decode_header(std::uint32_t wire_field) {
+  std::uint64_t widened = wire_field;  // widening is always exact
+  std::uint8_t version = 2;            // in-range constant
+  return widened + version;
+}
